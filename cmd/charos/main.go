@@ -1,0 +1,99 @@
+// Command charos runs the full characterization pipeline — the simulated
+// four-CPU multiprocessor, the instrumented kernel, the three workloads of
+// the paper, the hardware monitor, and the trace postprocessor — and
+// prints any (or all) of the paper's tables and figures with the published
+// values side by side.
+//
+// Usage:
+//
+//	charos [-exp all|table1|figure1|...|table12] [-window N] [-seed N]
+//	charos -exp figure6            # includes the cache sweeps
+//	charos -exp table1 -window 24000000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/arch"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/workload"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to reproduce: all, table1, figure1, figure2, figure3, figure4, figure5, figure6, figure7, table3, figure8, table4, table5, table6, table7, figure9, table9, figure10, table10, table11, table12, section6")
+	window := flag.Int64("window", 12_000_000, "traced window in 30ns cycles")
+	seed := flag.Int64("seed", 1, "random seed")
+	ncpu := flag.Int("ncpu", 4, "number of CPUs")
+	affinity := flag.Bool("affinity", false, "enable cache-affinity scheduling")
+	flag.Parse()
+
+	name := strings.ToLower(*exp)
+	cfg := core.Config{
+		Window:        arch.Cycles(*window),
+		Seed:          *seed,
+		NCPU:          *ncpu,
+		Affinity:      *affinity,
+		CollectIResim: name == "all" || name == "figure6",
+	}
+
+	// Static sections need no simulation.
+	switch name {
+	case "table3":
+		fmt.Print(report.Table3())
+		return
+	case "table11":
+		fmt.Print(report.Table11())
+		return
+	case "section6":
+		// The cluster what-if study runs its own 8-CPU simulation.
+		ch := core.Run(core.Config{
+			Workload: workload.Multpgm, NCPU: 8,
+			Window: arch.Cycles(*window), Seed: *seed,
+		})
+		results := cluster.Study(ch.Sim.Mon.Trace(), ch.Sim.K.L, 8, 2)
+		fmt.Print(cluster.Render(results, "Multpgm, 4 clusters of 2"))
+		return
+	}
+
+	sections := map[string]func(*report.Set) string{
+		"table1":   report.Table1,
+		"figure1":  report.Figure1,
+		"figure2":  report.Figure2,
+		"figure3":  report.Figure3,
+		"figure4":  report.Figure4,
+		"figure5":  report.Figure5,
+		"figure6":  report.Figure6,
+		"figure7":  report.Figure7,
+		"figure8":  report.Figure8,
+		"table4":   report.Table4,
+		"table5":   report.Table5,
+		"table6":   report.Table6,
+		"table7":   report.Table7,
+		"figure9":  report.Figure9,
+		"table9":   report.Table9,
+		"figure10": report.Figure10,
+		"table10":  report.Table10,
+		"table12":  report.Table12,
+	}
+	// Validate before the (expensive) simulations run.
+	if _, ok := sections[name]; !ok && name != "all" {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+
+	fmt.Fprintf(os.Stderr, "running Pmake, Multpgm and Oracle (window %d cycles ≈ %.0f ms at 33 MHz)...\n",
+		cfg.Window, float64(cfg.Window.NS())/1e6)
+	set := report.RunSet(cfg)
+
+	if name == "all" {
+		fmt.Print(report.All(set))
+		fmt.Print(report.Figure6(set))
+		return
+	}
+	fmt.Print(sections[name](set))
+}

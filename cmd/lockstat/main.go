@@ -1,0 +1,62 @@
+// Command lockstat reproduces the synchronization study of Section 5: the
+// sync-bus vs cacheable-lock stall comparison (Table 10), the lock
+// functions (Table 11), and the per-lock characterization (Table 12), plus
+// a dump of every lock family's statistics for the chosen workload.
+//
+// Usage:
+//
+//	lockstat [-workload Pmake|Multpgm|Oracle] [-window N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/report"
+	"repro/internal/workload"
+)
+
+func main() {
+	wl := flag.String("workload", "Pmake", "workload: Pmake, Multpgm, Oracle")
+	window := flag.Int64("window", 12_000_000, "traced window in cycles")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	kind, err := workload.ParseKind(*wl)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	fmt.Fprintf(os.Stderr, "running all three workloads for Table 10, %s for the detail dump...\n", kind)
+	set := report.RunSet(core.Config{Window: arch.Cycles(*window), Seed: *seed})
+	fmt.Print(report.Table10(set))
+	fmt.Print(report.Table11())
+	fmt.Print(report.Table12(set))
+
+	var ch *core.Characterization
+	switch kind {
+	case workload.Pmake:
+		ch = set.Pmake
+	case workload.Multpgm:
+		ch = set.Multpgm
+	default:
+		ch = set.Oracle
+	}
+	t := metrics.NewTable(fmt.Sprintf("All kernel lock families (%s), most acquired first", kind),
+		"Lock", "Acquires", "kCyc between", "Failed%", "SameCPU%", "Cached/Uncached%")
+	for _, st := range ch.Sim.K.Locks.AllStats() {
+		if st.Acquires == 0 {
+			continue
+		}
+		t.AddRow(st.Name, st.Acquires,
+			fmt.Sprintf("%.1f", st.CyclesBetweenAcq/1000),
+			fmt.Sprintf("%.1f", st.PctFailed),
+			fmt.Sprintf("%.1f", st.PctSameCPU),
+			fmt.Sprintf("%.0f", st.PctCachedVsUncached))
+	}
+	fmt.Print(t.String())
+}

@@ -1,0 +1,52 @@
+// Command sweep runs the parameter-sweep experiments: the Figure 6
+// I-cache size/associativity re-simulation and the Figure 11 lock
+// contention sweep over CPU counts.
+//
+// Usage:
+//
+//	sweep -exp figure6 [-window N]
+//	sweep -exp figure11 [-cpus 2,4,6,8,12,16]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/report"
+)
+
+func main() {
+	exp := flag.String("exp", "figure6", "figure6 or figure11")
+	window := flag.Int64("window", 12_000_000, "traced window in cycles")
+	seed := flag.Int64("seed", 1, "random seed")
+	cpus := flag.String("cpus", "2,4,6,8,12,16", "CPU counts for figure11")
+	flag.Parse()
+
+	switch *exp {
+	case "figure6":
+		set := report.RunSet(core.Config{
+			Window: arch.Cycles(*window), Seed: *seed, CollectIResim: true,
+		})
+		fmt.Print(report.Figure6(set))
+	case "figure11":
+		var counts []int
+		for _, part := range strings.Split(*cpus, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || n < 1 {
+				fmt.Fprintf(os.Stderr, "bad cpu count %q\n", part)
+				os.Exit(2)
+			}
+			counts = append(counts, n)
+		}
+		pts := report.RunFigure11(counts, arch.Cycles(*window), *seed)
+		fmt.Print(report.Figure11(pts))
+	default:
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}

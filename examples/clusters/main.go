@@ -1,0 +1,40 @@
+// Clusters study: the paper's Section 6 asks what its results imply for
+// large cluster-based shared-memory machines (DASH, Paradigm, Gigamax).
+// This example runs Multpgm on an 8-CPU machine, then reprices the
+// monitored miss stream on a 4-cluster machine under the paper's proposed
+// optimizations: replicating the OS text per cluster, distributing the run
+// queue, and localizing block transfers.
+//
+//	go run ./examples/clusters
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+func main() {
+	ch := core.Run(core.Config{
+		Workload: workload.Multpgm,
+		NCPU:     8,
+		Window:   8_000_000,
+		Seed:     1,
+	})
+	trace := ch.Sim.Mon.Trace()
+	fmt.Printf("Multpgm on 8 CPUs: %d monitored transactions\n\n", len(trace))
+
+	results := cluster.Study(trace, ch.Sim.K.L, 8, 2)
+	fmt.Print(cluster.Render(results, "Multpgm, 4 clusters of 2"))
+
+	fmt.Printf("\n→ §6's predictions, quantified on our trace:\n")
+	fmt.Printf("  • replicating the OS image makes every kernel-text fetch local\n")
+	fmt.Printf("    (the paper: 'instruction misses are serviced locally and\n")
+	fmt.Printf("    therefore cache miss penalties are low');\n")
+	fmt.Printf("  • distributing the run queue keeps migrating per-process state\n")
+	fmt.Printf("    (kernel stacks, user structures, process table) intra-cluster;\n")
+	fmt.Printf("  • allocating block-transfer pages locally removes the rest of\n")
+	fmt.Printf("    the inter-cluster traffic the three miss sources generate.\n")
+}

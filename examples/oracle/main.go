@@ -1,0 +1,64 @@
+// Oracle study: the commercial-workload analysis — the TP1 database's
+// large code footprint interferes with the OS in the instruction cache
+// (Dispap dominates Figure 4), its OS profile is I/O-call heavy
+// (Figure 9), and unlike the engineering workloads its I-miss curve keeps
+// improving all the way to 1 MB caches (Figure 6).
+//
+//	go run ./examples/oracle
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/metrics"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	ch := core.Run(core.Config{
+		Workload:      workload.Oracle,
+		Window:        12_000_000,
+		Seed:          1,
+		CollectIResim: true, // needed for the cache sweep
+	})
+
+	os := ch.Trace.OSMissTotal
+	fmt.Printf("Oracle (scaled TP1): %d OS misses, %.1f%% of all misses\n\n",
+		os, ch.OSMissShare())
+
+	// Figure 4: the database's big text interferes with the OS.
+	fmt.Printf("OS instruction misses by class (Figure 4a, %% of OS misses):\n")
+	for cl := trace.MissClass(0); cl < trace.NumClasses; cl++ {
+		fmt.Printf("  %-9s %5.1f%%\n", cl, metrics.PctOf(ch.Trace.Counts[1][1][cl], os))
+	}
+	fmt.Printf("→ Dispap dominates: the database displaces the OS from the I-cache.\n\n")
+
+	// Figure 9: the operation profile.
+	fmt.Printf("OS misses by high-level operation (Figure 9):\n")
+	for op := kernel.OpKind(0); op < kernel.NumOps; op++ {
+		d := ch.Trace.OpMisses[op][0]
+		i := ch.Trace.OpMisses[op][1]
+		fmt.Printf("  %-22s D %6d  I %6d\n", op, d, i)
+	}
+	fmt.Printf("→ I/O system calls dominate (the database manages its own buffers\n")
+	fmt.Printf("  over raw devices, so expensive-TLB activity folds into I/O).\n\n")
+
+	// Figure 6: the I-cache sweep for the database workload.
+	res := ch.Figure6()
+	fmt.Printf("I-cache sweep, OS miss rate relative to 64KB direct-mapped (Figure 6):\n")
+	fmt.Printf("  %-8s %8s %8s\n", "size", "direct", "2-way")
+	for _, p := range res.DirectMapped {
+		tw := "   -"
+		for _, q := range res.TwoWay {
+			if q.Size == p.Size {
+				tw = fmt.Sprintf("%.2f", q.Relative)
+			}
+		}
+		fmt.Printf("  %-8s %8.2f %8s\n", fmt.Sprintf("%dKB", p.Size/1024), p.Relative, tw)
+	}
+	fmt.Printf("→ keeps dropping to 1MB (no invalidation bound): the database's\n")
+	fmt.Printf("  instruction working set is what conflicts, not page reallocation.\n")
+}

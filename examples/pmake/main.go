@@ -1,0 +1,96 @@
+// Pmake study: reproduce the software-development-workload analysis of
+// the paper — the OS invocation pattern (Figure 1), the per-invocation
+// miss distributions (Figure 3), the block-operation breakdown (Tables 6
+// and 7), and where OS code interferes with itself in the I-cache
+// (Figure 5).
+//
+//	go run ./examples/pmake
+package main
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/kmem"
+	"repro/internal/metrics"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	ch := core.Run(core.Config{
+		Workload: workload.Pmake,
+		Window:   12_000_000,
+		Seed:     1,
+	})
+
+	// Figure 1: the repeating App → OS → (idle) pattern.
+	st := ch.Invocations()
+	fmt.Printf("The basic repeating pattern (Figure 1):\n")
+	fmt.Printf("  OS invocation:  %6.0f cycles, %5.1f I-misses, %5.1f D-misses\n",
+		st.OSAvgCycles, st.OSAvgIMiss, st.OSAvgDMiss)
+	fmt.Printf("  idle loop:      %6.0f cycles on average when entered\n", st.IdleAvgCycles)
+	fmt.Printf("  app stretch:    %6.0f cycles, %4.1f UTLB faults (%.2f misses each)\n",
+		st.AppAvgCycles, st.AppAvgUTLBs, st.UTLBMissPerFault)
+	fmt.Printf("  OS invoked every %.2f ms per CPU (paper: 1.9 ms)\n\n", st.MsBetweenInvocations)
+
+	// Figure 3: per-invocation distributions.
+	imiss := metrics.NewHistogram(10, 50, 100, 200, 400, 800)
+	for _, segs := range ch.Trace.Segments {
+		for _, s := range segs {
+			if s.Kind == trace.SegOS {
+				imiss.Add(float64(s.IMiss))
+			}
+		}
+	}
+	fmt.Print(imiss.Render("I-misses per OS invocation piece (Figure 3a)"))
+	fmt.Println()
+
+	// Block operations (Tables 6/7): the copies and clears the compile
+	// jobs cause, and their sizes.
+	ops := ch.Sim.K.BlockOpsSince(ch.Sim.BaseCounters)
+	byWhy := map[string]int{}
+	for _, op := range ops {
+		byWhy[op.Why]++
+	}
+	var whys []string
+	for w := range byWhy {
+		whys = append(whys, w)
+	}
+	sort.Slice(whys, func(i, j int) bool { return byWhy[whys[i]] > byWhy[whys[j]] })
+	fmt.Printf("Block operations by cause (Table 7's examples column):\n")
+	for _, w := range whys {
+		fmt.Printf("  %-32s %6d\n", w, byWhy[w])
+	}
+	var osD int64
+	for cl := trace.MissClass(0); cl < trace.NumClasses; cl++ {
+		osD += ch.Trace.Counts[1][0][cl]
+	}
+	fmt.Printf("Block-op share of OS data misses: copy %.1f%%, clear %.1f%%, pfdat traversal %.1f%% (Table 6)\n\n",
+		metrics.PctOf(ch.Trace.BlockOpDMisses[kmem.RoutineBcopy], osD),
+		metrics.PctOf(ch.Trace.BlockOpDMisses[kmem.RoutineBclear], osD),
+		metrics.PctOf(ch.Trace.BlockOpDMisses[kmem.RoutineVhand], osD))
+
+	// Figure 5: which routines self-interfere in the I-cache.
+	kt := ch.Sim.K.T
+	type ent struct {
+		r *kernel.Routine
+		n int64
+	}
+	var ents []ent
+	for id, n := range ch.Trace.DisposIByRoutine {
+		ents = append(ents, ent{kt.ByID(id), n})
+	}
+	sort.Slice(ents, func(i, j int) bool { return ents[i].n > ents[j].n })
+	fmt.Printf("Top self-interference (Dispos) routines, X in I-cache multiples (Figure 5):\n")
+	for i, e := range ents {
+		if i == 8 {
+			break
+		}
+		fmt.Printf("  %-16s at %.2f×64KB  %6d misses\n",
+			e.r.Name, float64(e.r.Addr)/float64(arch.ICacheSize), e.n)
+	}
+}

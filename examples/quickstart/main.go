@@ -1,0 +1,53 @@
+// Quickstart: run one workload through the full characterization pipeline
+// and print the headline numbers of the paper — how much of the CPUs'
+// non-idle time is lost to OS cache misses.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	// One call: build the 4-CPU machine, boot the kernel model, run the
+	// parallel compile under the hardware monitor, postprocess the bus
+	// trace.
+	ch := core.Run(core.Config{
+		Workload: workload.Pmake,
+		Window:   8_000_000, // ≈0.24 s at 33 MHz
+		Seed:     1,
+	})
+
+	user, sys, idle := ch.TimeSplit()
+	fmt.Printf("Pmake on the simulated 4-CPU machine:\n")
+	fmt.Printf("  time split: user %.1f%%  system %.1f%%  idle %.1f%%\n", user, sys, idle)
+	fmt.Printf("  OS misses are %.1f%% of all cache misses\n", ch.OSMissShare())
+
+	all, osOnly, osInduced := ch.StallPct()
+	fmt.Printf("  stalls (35 cycles per bus access, as %% of non-idle time):\n")
+	fmt.Printf("    all misses:            %5.1f%%\n", all)
+	fmt.Printf("    OS misses only:        %5.1f%%   (paper: 17-21%%)\n", osOnly)
+	fmt.Printf("    OS + OS-induced:       %5.1f%%   (paper: ≈25%%)\n", osInduced)
+
+	// The three major sources of OS misses the paper identifies.
+	fmt.Printf("  the three major sources:\n")
+	fmt.Printf("    instruction fetches:   %5.1f%% stall\n", ch.OSIMissStallPct())
+	fmt.Printf("    process migration:     %5.1f%% stall\n", ch.MigrationStallPct())
+	fmt.Printf("    block operations:      %5.1f%% stall\n", ch.BlockOpStallPct())
+
+	// And the synchronization result: cheap if locks are cachable.
+	cur, rmw := ch.SyncStallPct()
+	fmt.Printf("  synchronization: sync-bus protocol %.1f%%, cacheable LL/SC locks %.1f%%\n", cur, rmw)
+
+	// A peek at the miss taxonomy (Table 2).
+	fmt.Printf("  OS miss classes (I-misses): ")
+	for cl := trace.MissClass(0); cl < trace.NumClasses; cl++ {
+		fmt.Printf("%s=%d ", cl, ch.Trace.Counts[1][1][cl])
+	}
+	fmt.Println()
+}

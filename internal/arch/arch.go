@@ -1,0 +1,181 @@
+// Package arch defines the architectural constants and elementary types of
+// the simulated machine: a bus-based cache-coherent multiprocessor modeled on
+// the Silicon Graphics POWER Station 4D/340 that the paper measures (four
+// 33 MHz MIPS R3000 CPUs, physically-addressed direct-mapped caches with
+// 16-byte blocks, 32 MB of main memory).
+//
+// All other packages build on these types; keeping them here avoids import
+// cycles between the cache, bus, kernel and simulation packages.
+package arch
+
+import "fmt"
+
+// Machine geometry of the SGI 4D/340 as described in Section 2.1 of the
+// paper. Sizes are in bytes unless noted.
+const (
+	// DefaultCPUs is the number of processors in the measured machine.
+	DefaultCPUs = 4
+
+	// ClockMHz is the processor clock rate.
+	ClockMHz = 33
+
+	// CycleNS is the processor cycle time in nanoseconds (the paper
+	// measures Figure 1 in 30 ns processor cycles).
+	CycleNS = 30
+
+	// MonitorTickNS is the granularity of the hardware monitor's
+	// timestamp counter (60 ns, Section 2.1).
+	MonitorTickNS = 60
+
+	// BlockSize is the cache block size. All caches use 16-byte blocks.
+	BlockSize = 16
+
+	// BlockShift is log2(BlockSize).
+	BlockShift = 4
+
+	// PageSize is the virtual-memory page size.
+	PageSize = 4096
+
+	// PageShift is log2(PageSize).
+	PageShift = 12
+
+	// ICacheSize is the per-CPU instruction cache size (64 KB).
+	ICacheSize = 64 * 1024
+
+	// DCacheL1Size is the per-CPU first-level data cache size (64 KB).
+	DCacheL1Size = 64 * 1024
+
+	// DCacheL2Size is the per-CPU second-level data cache size (256 KB).
+	DCacheL2Size = 256 * 1024
+
+	// MemBytes is the main-memory size (32 MB).
+	MemBytes = 32 * 1024 * 1024
+
+	// MemFrames is the number of physical page frames.
+	MemFrames = MemBytes / PageSize
+
+	// TLBEntries is the size of the per-CPU fully-associative TLB.
+	TLBEntries = 64
+
+	// MissStallCycles is the estimated CPU stall per bus access
+	// (Section 3.1: "each bus access stalls the CPU for 35 cycles").
+	MissStallCycles = 35
+
+	// L1MissL2HitCycles is the stall when a data reference misses the
+	// first-level cache but hits in the second-level cache ("the CPU
+	// could be stalled for about 15 cycles", Section 3.1).
+	L1MissL2HitCycles = 15
+
+	// InstrBytes is the size of one instruction (MIPS R3000).
+	InstrBytes = 4
+
+	// InstrPerBlock is how many instructions one cache block holds.
+	InstrPerBlock = BlockSize / InstrBytes
+
+	// WordBytes is the machine word size.
+	WordBytes = 4
+
+	// ClockTickCycles is the period of the OS clock interrupt
+	// (10 ms, Section 4.1) expressed in processor cycles.
+	ClockTickCycles = 10 * 1000 * 1000 / CycleNS // 10 ms / 30 ns
+)
+
+// PAddr is a physical byte address.
+type PAddr uint32
+
+// VAddr is a virtual byte address.
+type VAddr uint32
+
+// Block returns the physical block address (the address with the offset
+// within the cache block cleared).
+func (a PAddr) Block() PAddr { return a &^ (BlockSize - 1) }
+
+// Frame returns the physical page frame number.
+func (a PAddr) Frame() uint32 { return uint32(a) >> PageShift }
+
+// Offset returns the byte offset within the page.
+func (a PAddr) Offset() uint32 { return uint32(a) & (PageSize - 1) }
+
+// Page returns the virtual page number.
+func (a VAddr) Page() uint32 { return uint32(a) >> PageShift }
+
+// Offset returns the byte offset within the page.
+func (a VAddr) Offset() uint32 { return uint32(a) & (PageSize - 1) }
+
+// FrameAddr returns the physical address of the first byte of frame f.
+func FrameAddr(f uint32) PAddr { return PAddr(f << PageShift) }
+
+// Cycles counts processor cycles (30 ns each).
+type Cycles int64
+
+// NS converts a cycle count to nanoseconds.
+func (c Cycles) NS() int64 { return int64(c) * CycleNS }
+
+// MS converts a cycle count to milliseconds (useful for per-ms rates).
+func (c Cycles) MS() float64 { return float64(c.NS()) / 1e6 }
+
+// CPUID identifies a processor. CPU 1 runs the network functions in IRIX
+// (Section 2.2), a convention the kernel model preserves.
+type CPUID int
+
+// Mode distinguishes whose references a CPU is issuing. The monitor's
+// postprocessor recovers the mode from escape records; inside the simulator
+// it is tracked directly.
+type Mode uint8
+
+const (
+	// ModeUser means the CPU is executing application code.
+	ModeUser Mode = iota
+	// ModeKernel means the CPU is executing OS code on behalf of a
+	// process or interrupt.
+	ModeKernel
+	// ModeIdle means the CPU is executing the OS idle loop.
+	ModeIdle
+)
+
+// String returns the conventional short name of the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeUser:
+		return "user"
+	case ModeKernel:
+		return "system"
+	case ModeIdle:
+		return "idle"
+	default:
+		return fmt.Sprintf("mode(%d)", uint8(m))
+	}
+}
+
+// RefKind distinguishes instruction fetches from data reads and writes.
+type RefKind uint8
+
+const (
+	// RefInstr is an instruction fetch.
+	RefInstr RefKind = iota
+	// RefRead is a data load.
+	RefRead
+	// RefWrite is a data store.
+	RefWrite
+)
+
+// String returns a short name for the reference kind.
+func (k RefKind) String() string {
+	switch k {
+	case RefInstr:
+		return "ifetch"
+	case RefRead:
+		return "read"
+	case RefWrite:
+		return "write"
+	default:
+		return fmt.Sprintf("ref(%d)", uint8(k))
+	}
+}
+
+// PID identifies a process. PID 0 is reserved for "no process" (the idle
+// loop and interrupt-only activity).
+type PID int32
+
+// NoPID marks the absence of a process.
+const NoPID PID = 0

@@ -1,0 +1,101 @@
+package arch
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGeometryConstants(t *testing.T) {
+	if MemFrames != 8192 {
+		t.Errorf("MemFrames = %d, want 8192 (32 MB / 4 KB)", MemFrames)
+	}
+	if InstrPerBlock != 4 {
+		t.Errorf("InstrPerBlock = %d, want 4", InstrPerBlock)
+	}
+	if 1<<BlockShift != BlockSize {
+		t.Errorf("BlockShift inconsistent: 1<<%d != %d", BlockShift, BlockSize)
+	}
+	if 1<<PageShift != PageSize {
+		t.Errorf("PageShift inconsistent: 1<<%d != %d", PageShift, PageSize)
+	}
+	// 10 ms at 30 ns per cycle.
+	if ClockTickCycles != 333333 {
+		t.Errorf("ClockTickCycles = %d, want 333333", ClockTickCycles)
+	}
+}
+
+func TestBlockAlignment(t *testing.T) {
+	cases := []struct {
+		in   PAddr
+		want PAddr
+	}{
+		{0, 0},
+		{1, 0},
+		{15, 0},
+		{16, 16},
+		{0x1234, 0x1230},
+		{0xFFFF_FFFF, 0xFFFF_FFF0},
+	}
+	for _, c := range cases {
+		if got := c.in.Block(); got != c.want {
+			t.Errorf("PAddr(%#x).Block() = %#x, want %#x", c.in, got, c.want)
+		}
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	f := func(frame uint16, off uint16) bool {
+		fr := uint32(frame) % MemFrames
+		o := uint32(off) % PageSize
+		a := FrameAddr(fr) + PAddr(o)
+		return a.Frame() == fr && a.Offset() == o
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBlockIsIdempotentAndAligned(t *testing.T) {
+	f := func(a uint32) bool {
+		b := PAddr(a).Block()
+		return b.Block() == b && uint32(b)%BlockSize == 0 && b <= PAddr(a) && PAddr(a)-b < BlockSize
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVAddrPage(t *testing.T) {
+	v := VAddr(0x0040_2345)
+	if v.Page() != 0x402 {
+		t.Errorf("Page() = %#x, want 0x402", v.Page())
+	}
+	if v.Offset() != 0x345 {
+		t.Errorf("Offset() = %#x, want 0x345", v.Offset())
+	}
+}
+
+func TestCyclesConversions(t *testing.T) {
+	c := Cycles(1000)
+	if c.NS() != 30000 {
+		t.Errorf("NS() = %d, want 30000", c.NS())
+	}
+	if ms := Cycles(1000000).MS(); ms != 30.0 {
+		t.Errorf("MS() = %v, want 30.0", ms)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if ModeUser.String() != "user" || ModeKernel.String() != "system" || ModeIdle.String() != "idle" {
+		t.Errorf("mode strings wrong: %q %q %q", ModeUser, ModeKernel, ModeIdle)
+	}
+	if Mode(9).String() == "" {
+		t.Error("unknown mode should still stringify")
+	}
+}
+
+func TestRefKindString(t *testing.T) {
+	if RefInstr.String() != "ifetch" || RefRead.String() != "read" || RefWrite.String() != "write" {
+		t.Errorf("refkind strings wrong")
+	}
+}

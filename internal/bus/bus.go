@@ -1,0 +1,351 @@
+// Package bus models the shared memory bus of the simulated multiprocessor:
+// per-CPU caches kept coherent by a snooping invalidation protocol, with
+// every bus transaction exposed to an attached recorder (the hardware
+// monitor of Section 2.1).
+//
+// The protocol is MESI-like: read misses fill Shared or Exclusive depending
+// on whether another cache holds the block; write misses issue a
+// read-exclusive that invalidates remote copies; writes that hit a Shared
+// block issue an upgrade. A cache holding the block dirty supplies the data
+// on a remote read and reverts to Shared/clean. Instruction caches are
+// read-only and kept coherent by explicit invalidation when code pages are
+// reallocated (the kernel's job).
+package bus
+
+import (
+	"repro/internal/arch"
+	"repro/internal/cache"
+)
+
+// TxnKind is the type of a bus transaction as seen by the monitor.
+type TxnKind uint8
+
+const (
+	// TxnRead is a cache fill for a read (instruction fetch or data
+	// load) miss.
+	TxnRead TxnKind = iota
+	// TxnReadEx is a cache fill for a write miss, invalidating remote
+	// copies.
+	TxnReadEx
+	// TxnUpgrade invalidates remote copies of a block already held
+	// Shared, on a local write hit.
+	TxnUpgrade
+	// TxnWriteBack writes a dirty displaced block back to memory. It
+	// does not stall the CPU (the write buffer absorbs it) and the
+	// postprocessor does not treat it as a miss.
+	TxnWriteBack
+	// TxnUncached is an uncached access that bypasses the caches: the
+	// instrumentation's escape reads (odd addresses) and genuine
+	// uncached OS accesses such as device-register reads (even
+	// addresses).
+	TxnUncached
+	// TxnUpdate is a write broadcast of the write-update protocol
+	// ablation: remote copies are refreshed in place instead of
+	// invalidated.
+	TxnUpdate
+)
+
+// String returns a short name for the transaction kind.
+func (k TxnKind) String() string {
+	switch k {
+	case TxnRead:
+		return "read"
+	case TxnReadEx:
+		return "readex"
+	case TxnUpgrade:
+		return "upgrade"
+	case TxnWriteBack:
+		return "writeback"
+	case TxnUncached:
+		return "uncached"
+	case TxnUpdate:
+		return "update"
+	default:
+		return "txn?"
+	}
+}
+
+// Txn is one bus transaction: what the hardware monitor stores. Ticks is
+// the monitor's 60 ns counter (two processor cycles per tick).
+type Txn struct {
+	Ticks uint64
+	Addr  arch.PAddr
+	CPU   arch.CPUID
+	Kind  TxnKind
+}
+
+// TicksOf converts a cycle count to monitor ticks.
+func TicksOf(c arch.Cycles) uint64 { return uint64(c) / 2 }
+
+// Recorder receives every bus transaction. The hardware monitor implements
+// it; a nil recorder disables tracing.
+type Recorder interface {
+	Record(Txn)
+}
+
+// Stats aggregates raw bus activity (independent of the monitor, which can
+// be suspended or full).
+type Stats struct {
+	Reads      int64
+	ReadExs    int64
+	Upgrades   int64
+	WriteBacks int64
+	Uncacheds  int64
+	Updates    int64
+}
+
+// Transactions returns the total number of CPU-stalling transactions
+// (everything except write-backs).
+func (s *Stats) Transactions() int64 {
+	return s.Reads + s.ReadExs + s.Upgrades + s.Uncacheds + s.Updates
+}
+
+// Protocol selects the coherence policy for shared writes.
+type Protocol uint8
+
+const (
+	// WriteInvalidate is the measured machine's protocol: a write to a
+	// Shared block invalidates remote copies (Illinois/MESI style).
+	WriteInvalidate Protocol = iota
+	// WriteUpdate is the ablation: shared writes broadcast the new data
+	// and remote copies stay valid (Firefly/Dragon style). Sharing
+	// misses disappear; every shared write costs a bus transaction.
+	WriteUpdate
+)
+
+// System is the coherent cache/bus complex: one instruction cache and one
+// two-level data hierarchy per CPU, sharing the bus.
+type System struct {
+	N   int
+	I   []*cache.Cache
+	D   []*cache.DataHierarchy
+	rec Recorder
+
+	// Proto selects invalidate (default) or update coherence.
+	Proto Protocol
+
+	Stats Stats
+}
+
+// NewSystem builds the cache complex for n CPUs with the 4D/340 geometry.
+// rec may be nil.
+func NewSystem(n int, rec Recorder) *System {
+	s := &System{N: n, rec: rec}
+	s.I = make([]*cache.Cache, n)
+	s.D = make([]*cache.DataHierarchy, n)
+	for i := 0; i < n; i++ {
+		s.I[i] = cache.New("icache", arch.ICacheSize, 1)
+		s.D[i] = cache.NewDataHierarchy("dcache")
+	}
+	return s
+}
+
+// SetRecorder replaces the transaction recorder (used when the monitor is
+// attached after construction).
+func (s *System) SetRecorder(rec Recorder) { s.rec = rec }
+
+func (s *System) record(t Txn) {
+	if s.rec != nil {
+		s.rec.Record(t)
+	}
+}
+
+// Outcome describes the cost of one memory reference.
+type Outcome struct {
+	// Missed is true when the reference caused a monitored bus fill
+	// (an instruction miss, or a data miss in both cache levels).
+	Missed bool
+	// L2Hit is true for data references that missed L1 but hit L2
+	// (no bus transaction, short stall).
+	L2Hit bool
+	// Upgraded is true when a write hit required an upgrade
+	// transaction.
+	Upgraded bool
+	// Stall is the CPU stall in cycles.
+	Stall arch.Cycles
+}
+
+// Fetch performs an instruction fetch of the block containing a by CPU c at
+// time now.
+func (s *System) Fetch(c arch.CPUID, a arch.PAddr, now arch.Cycles) Outcome {
+	hit, _, _ := s.I[c].Access(a, false)
+	if hit {
+		return Outcome{}
+	}
+	s.Stats.Reads++
+	s.record(Txn{Ticks: TicksOf(now), Addr: a.Block(), CPU: c, Kind: TxnRead})
+	return Outcome{Missed: true, Stall: arch.MissStallCycles}
+}
+
+// Read performs a data load of the block containing a by CPU c.
+func (s *System) Read(c arch.CPUID, a arch.PAddr, now arch.Cycles) Outcome {
+	res := s.D[c].Access(a, false)
+	switch res.Result {
+	case cache.DataL1Hit:
+		return Outcome{}
+	case cache.DataL2Hit:
+		return Outcome{L2Hit: true, Stall: arch.L1MissL2HitCycles}
+	}
+	// Bus read: snoop remote caches.
+	s.Stats.Reads++
+	s.record(Txn{Ticks: TicksOf(now), Addr: a.Block(), CPU: c, Kind: TxnRead})
+	if res.WriteBack {
+		s.Stats.WriteBacks++
+		s.record(Txn{Ticks: TicksOf(now), Addr: res.L2Evicted.Block, CPU: c, Kind: TxnWriteBack})
+	}
+	shared := false
+	for q := 0; q < s.N; q++ {
+		if arch.CPUID(q) == c {
+			continue
+		}
+		d := s.D[q]
+		if d.Resident(a) {
+			shared = true
+			if d.L2.Dirty(a) {
+				// Remote cache supplies the data and reverts
+				// to clean Shared; memory is updated.
+				d.L2.Clean(a)
+			}
+			d.L2.SetShared(a, true)
+		}
+	}
+	s.D[c].L2.SetShared(a, shared)
+	return Outcome{Missed: true, Stall: arch.MissStallCycles}
+}
+
+// Write performs a data store to the block containing a by CPU c.
+func (s *System) Write(c arch.CPUID, a arch.PAddr, now arch.Cycles) Outcome {
+	// Upgrade check must precede the local access so the Shared state
+	// is observed before the write marks the line Modified.
+	wasShared := s.D[c].L2.Shared(a)
+	res := s.D[c].Access(a, true)
+	switch res.Result {
+	case cache.DataL1Hit, cache.DataL2Hit:
+		out := Outcome{L2Hit: res.Result == cache.DataL2Hit}
+		if out.L2Hit {
+			out.Stall = arch.L1MissL2HitCycles
+		}
+		if wasShared {
+			if s.Proto == WriteUpdate {
+				// Broadcast the data; remote copies stay valid
+				// and everyone remains Shared (memory updated,
+				// so nobody is dirty).
+				s.Stats.Updates++
+				s.record(Txn{Ticks: TicksOf(now), Addr: a.Block(), CPU: c, Kind: TxnUpdate})
+				s.D[c].L2.SetShared(a, true)
+				s.D[c].L2.Clean(a)
+				out.Upgraded = true
+				out.Stall += arch.MissStallCycles
+				return out
+			}
+			s.Stats.Upgrades++
+			s.record(Txn{Ticks: TicksOf(now), Addr: a.Block(), CPU: c, Kind: TxnUpgrade})
+			s.invalidateRemote(c, a)
+			s.D[c].L2.SetShared(a, false)
+			out.Upgraded = true
+			out.Stall += arch.MissStallCycles
+		}
+		return out
+	}
+	// Write miss.
+	if s.Proto == WriteUpdate {
+		// One combined fetch-and-broadcast transaction; remote copies
+		// stay valid and refreshed.
+		shared := false
+		for q := 0; q < s.N; q++ {
+			if arch.CPUID(q) != c && s.D[q].Resident(a) {
+				shared = true
+				s.D[q].L2.Clean(a)
+				s.D[q].L2.SetShared(a, true)
+			}
+		}
+		if shared {
+			s.Stats.Updates++
+			s.record(Txn{Ticks: TicksOf(now), Addr: a.Block(), CPU: c, Kind: TxnUpdate})
+		} else {
+			s.Stats.Reads++
+			s.record(Txn{Ticks: TicksOf(now), Addr: a.Block(), CPU: c, Kind: TxnRead})
+		}
+		if res.WriteBack {
+			s.Stats.WriteBacks++
+			s.record(Txn{Ticks: TicksOf(now), Addr: res.L2Evicted.Block, CPU: c, Kind: TxnWriteBack})
+		}
+		s.D[c].L2.SetShared(a, shared)
+		if shared {
+			s.D[c].L2.Clean(a) // memory holds the broadcast data
+		}
+		return Outcome{Missed: true, Stall: arch.MissStallCycles}
+	}
+	// Write miss: read-exclusive (invalidate protocol).
+	s.Stats.ReadExs++
+	s.record(Txn{Ticks: TicksOf(now), Addr: a.Block(), CPU: c, Kind: TxnReadEx})
+	if res.WriteBack {
+		s.Stats.WriteBacks++
+		s.record(Txn{Ticks: TicksOf(now), Addr: res.L2Evicted.Block, CPU: c, Kind: TxnWriteBack})
+	}
+	s.invalidateRemote(c, a)
+	s.D[c].L2.SetShared(a, false)
+	return Outcome{Missed: true, Stall: arch.MissStallCycles}
+}
+
+func (s *System) invalidateRemote(c arch.CPUID, a arch.PAddr) {
+	for q := 0; q < s.N; q++ {
+		if arch.CPUID(q) != c {
+			s.D[q].Invalidate(a)
+		}
+	}
+}
+
+// Uncached performs an uncached access (escape reads and device-register
+// accesses). It always produces a bus transaction and never touches the
+// caches. stallFree suppresses the stall (used for instrumentation escapes,
+// which the simulation emits at zero cost; see DESIGN.md §6).
+func (s *System) Uncached(c arch.CPUID, a arch.PAddr, now arch.Cycles, stallFree bool) Outcome {
+	s.Stats.Uncacheds++
+	s.record(Txn{Ticks: TicksOf(now), Addr: a, CPU: c, Kind: TxnUncached})
+	if stallFree {
+		return Outcome{}
+	}
+	return Outcome{Missed: true, Stall: arch.MissStallCycles}
+}
+
+// Bypass performs a block transfer access that deliberately bypasses the
+// caches (the Section 4.2.2 proposal for block operations): the bus is
+// used (full miss latency) but no cache is filled, so the transfer does
+// not wipe resident state. Writes still invalidate every cached copy to
+// stay coherent. The monitor sees an uncached transaction at an even
+// (block-aligned) address — the paper's Uncached class.
+// blocks covers [a, a+blocks*BlockSize) with ONE bus transaction: the
+// paper's proposal exploits "the spatial locality of the reference stream"
+// by moving contiguous blocks per transfer rather than one word at a time.
+func (s *System) Bypass(c arch.CPUID, a arch.PAddr, blocks int, write bool, now arch.Cycles) Outcome {
+	if blocks < 1 {
+		blocks = 1
+	}
+	s.Stats.Uncacheds++
+	s.record(Txn{Ticks: TicksOf(now), Addr: a.Block(), CPU: c, Kind: TxnUncached})
+	if write {
+		for i := 0; i < blocks; i++ {
+			ba := a + arch.PAddr(i*arch.BlockSize)
+			for q := 0; q < s.N; q++ {
+				s.D[q].Invalidate(ba)
+			}
+		}
+	}
+	return Outcome{Missed: true, Stall: arch.MissStallCycles}
+}
+
+// InvalidateCodeFrame flushes ALL instruction caches. The machine has no
+// selective I-cache invalidation: when a physical page that contained code
+// is reallocated, the kernel must flush the whole I-cache on every CPU
+// (the source of the Inval class, Table 2, and the reason Figure 6's
+// large-cache curves saturate). It returns the number of blocks
+// invalidated.
+func (s *System) InvalidateCodeFrame(f uint32) int {
+	n := 0
+	for q := 0; q < s.N; q++ {
+		n += s.I[q].ResidentBlocks()
+		s.I[q].InvalidateAll()
+	}
+	return n
+}

@@ -1,0 +1,225 @@
+// Package cache implements the physically-addressed cache models of the
+// simulated machine: single caches of arbitrary size and associativity with
+// 16-byte blocks, and the two-level data-cache hierarchy of the 4D/340
+// (64 KB first level, 256 KB second level, both direct-mapped).
+//
+// Caches here are functional models: they track which blocks are resident
+// and report hits, misses and evictions. Timing, coherence traffic and miss
+// classification are layered on top by the bus, sim and trace packages.
+package cache
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+)
+
+// Cache is a set-associative, physically-indexed, physically-tagged cache
+// with arch.BlockSize-byte blocks. Associativity 1 models the direct-mapped
+// caches of the measured machine; higher associativities are used by the
+// Figure 6 re-simulations. Replacement is LRU within a set.
+type Cache struct {
+	name  string
+	size  int
+	assoc int
+	sets  int
+
+	valid []bool
+	tag   []arch.PAddr // block address, valid only where valid[i]
+	dirty []bool
+	lru   []uint64 // per-line last-touch stamp
+	clock uint64
+
+	// sharedBit is allocated lazily by SetShared; only coherence-level
+	// caches (the data L2) pay for it.
+	sharedBit []bool
+}
+
+// New returns a cache of the given total size in bytes and associativity.
+// size must be a multiple of assoc*arch.BlockSize and the resulting number
+// of sets must be a power of two (true for all configurations in the paper).
+func New(name string, size, assoc int) *Cache {
+	if size <= 0 || assoc <= 0 {
+		panic(fmt.Sprintf("cache %s: invalid size %d or assoc %d", name, size, assoc))
+	}
+	lines := size / arch.BlockSize
+	if lines%assoc != 0 {
+		panic(fmt.Sprintf("cache %s: %d lines not divisible by assoc %d", name, lines, assoc))
+	}
+	sets := lines / assoc
+	if sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("cache %s: %d sets is not a power of two", name, sets))
+	}
+	return &Cache{
+		name:  name,
+		size:  size,
+		assoc: assoc,
+		sets:  sets,
+		valid: make([]bool, lines),
+		tag:   make([]arch.PAddr, lines),
+		dirty: make([]bool, lines),
+		lru:   make([]uint64, lines),
+	}
+}
+
+// Name returns the cache's identifying name.
+func (c *Cache) Name() string { return c.name }
+
+// Size returns the total capacity in bytes.
+func (c *Cache) Size() int { return c.size }
+
+// Assoc returns the associativity.
+func (c *Cache) Assoc() int { return c.assoc }
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return c.sets }
+
+// SetOf returns the set index a physical address maps to.
+func (c *Cache) SetOf(a arch.PAddr) int {
+	return int(uint32(a)>>arch.BlockShift) & (c.sets - 1)
+}
+
+// line index helpers
+func (c *Cache) lineIdx(set, way int) int { return set*c.assoc + way }
+
+// Lookup reports whether the block containing a is resident, without
+// changing any state.
+func (c *Cache) Lookup(a arch.PAddr) bool {
+	_, ok := c.find(a)
+	return ok
+}
+
+func (c *Cache) find(a arch.PAddr) (idx int, ok bool) {
+	b := a.Block()
+	set := c.SetOf(a)
+	for w := 0; w < c.assoc; w++ {
+		i := c.lineIdx(set, w)
+		if c.valid[i] && c.tag[i] == b {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// Eviction describes a block displaced by a fill.
+type Eviction struct {
+	Block arch.PAddr
+	Dirty bool
+}
+
+// Access touches the block containing a. write marks the block dirty.
+// It returns hit=true on a hit. On a miss the block is filled and, if a
+// valid block was displaced, evicted describes it (ok=false when the set had
+// an empty way).
+func (c *Cache) Access(a arch.PAddr, write bool) (hit bool, evicted Eviction, ok bool) {
+	c.clock++
+	if i, found := c.find(a); found {
+		c.lru[i] = c.clock
+		if write {
+			c.dirty[i] = true
+		}
+		return true, Eviction{}, false
+	}
+	i, ev, hadEv := c.fill(a)
+	if write {
+		c.dirty[i] = true
+	}
+	return false, ev, hadEv
+}
+
+// fill installs the block containing a, returning the line index used and
+// the eviction, if any.
+func (c *Cache) fill(a arch.PAddr) (idx int, evicted Eviction, ok bool) {
+	b := a.Block()
+	set := c.SetOf(a)
+	// Prefer an invalid way.
+	victim := -1
+	var oldest uint64 = ^uint64(0)
+	for w := 0; w < c.assoc; w++ {
+		i := c.lineIdx(set, w)
+		if !c.valid[i] {
+			victim = i
+			ok = false
+			oldest = 0
+			break
+		}
+		if c.lru[i] < oldest {
+			oldest = c.lru[i]
+			victim = i
+		}
+	}
+	if c.valid[victim] {
+		evicted = Eviction{Block: c.tag[victim], Dirty: c.dirty[victim]}
+		ok = true
+	}
+	c.valid[victim] = true
+	c.tag[victim] = b
+	c.dirty[victim] = false
+	c.lru[victim] = c.clock
+	if c.sharedBit != nil {
+		c.sharedBit[victim] = false
+	}
+	return victim, evicted, ok
+}
+
+// Peek returns the resident block in the (only) way of the set that a maps
+// to for direct-mapped caches; for set-associative caches it returns the
+// most-recently-used resident block in the set. ok is false if the relevant
+// way is empty. It is used by tests and by the mirror-cache reconstruction.
+func (c *Cache) Peek(a arch.PAddr) (block arch.PAddr, ok bool) {
+	set := c.SetOf(a)
+	var best uint64
+	for w := 0; w < c.assoc; w++ {
+		i := c.lineIdx(set, w)
+		if c.valid[i] && c.lru[i] >= best {
+			best = c.lru[i]
+			block = c.tag[i]
+			ok = true
+		}
+	}
+	return block, ok
+}
+
+// Invalidate removes the block containing a if resident, returning whether
+// it was resident and whether it was dirty.
+func (c *Cache) Invalidate(a arch.PAddr) (wasResident, wasDirty bool) {
+	if i, found := c.find(a); found {
+		c.valid[i] = false
+		return true, c.dirty[i]
+	}
+	return false, false
+}
+
+// InvalidateFrame removes every resident block belonging to physical page
+// frame f and returns how many blocks were invalidated. The kernel uses this
+// on the instruction caches when a physical page that contained code is
+// reallocated (the source of Inval misses, Table 2).
+func (c *Cache) InvalidateFrame(frame uint32) int {
+	n := 0
+	for i := range c.valid {
+		if c.valid[i] && c.tag[i].Frame() == frame {
+			c.valid[i] = false
+			n++
+		}
+	}
+	return n
+}
+
+// InvalidateAll empties the cache.
+func (c *Cache) InvalidateAll() {
+	for i := range c.valid {
+		c.valid[i] = false
+	}
+}
+
+// ResidentBlocks returns the number of valid lines (used by tests and the
+// monitor's perturbation accounting).
+func (c *Cache) ResidentBlocks() int {
+	n := 0
+	for _, v := range c.valid {
+		if v {
+			n++
+		}
+	}
+	return n
+}

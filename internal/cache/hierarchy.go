@@ -1,0 +1,112 @@
+package cache
+
+import "repro/internal/arch"
+
+// DataHierarchy models the two-level data cache of one CPU: a 64 KB
+// first-level and a 256 KB second-level cache, both direct-mapped with
+// 16-byte blocks, maintaining inclusion (every L1 block is also in L2).
+//
+// Only L2 misses reach the bus and are therefore visible to the hardware
+// monitor; an L1 miss that hits in L2 stalls the CPU for about 15 cycles
+// without a bus transaction — the blind spot Section 3.1 discusses.
+type DataHierarchy struct {
+	L1 *Cache
+	L2 *Cache
+}
+
+// NewDataHierarchy builds the 4D/340 data hierarchy.
+func NewDataHierarchy(name string) *DataHierarchy {
+	return &DataHierarchy{
+		L1: New(name+".L1", arch.DCacheL1Size, 1),
+		L2: New(name+".L2", arch.DCacheL2Size, 1),
+	}
+}
+
+// DataResult reports where a data reference was satisfied.
+type DataResult uint8
+
+const (
+	// DataL1Hit means the reference hit in the first-level cache.
+	DataL1Hit DataResult = iota
+	// DataL2Hit means it missed L1 but hit L2 (≈15-cycle stall, no bus).
+	DataL2Hit
+	// DataMiss means it missed both levels (bus transaction, ≈35 cycles).
+	DataMiss
+)
+
+// String returns a short name for the result.
+func (r DataResult) String() string {
+	switch r {
+	case DataL1Hit:
+		return "l1hit"
+	case DataL2Hit:
+		return "l2hit"
+	default:
+		return "miss"
+	}
+}
+
+// DataAccess is the outcome of one data reference through the hierarchy.
+type DataAccess struct {
+	Result DataResult
+	// L2Evicted is set when an L2 fill displaced a valid block; the
+	// displaced block is also removed from L1 to preserve inclusion.
+	L2Evicted Eviction
+	L2HadEv   bool
+	// WriteBack is true when the displaced L2 block was dirty and must
+	// be written back on the bus.
+	WriteBack bool
+}
+
+// Access performs a data load or store at physical address a, reporting the
+// level of the hit and carrying L2 eviction/write-back information so the
+// bus can emit write-back transactions.
+func (h *DataHierarchy) Access(a arch.PAddr, write bool) DataAccess {
+	if hit, _, _ := h.L1.Access(a, write); hit {
+		// Keep the L2 copy's dirtiness in sync so write-backs are not
+		// lost when the L1 copy is silently displaced later.
+		if write {
+			h.l2MarkDirty(a)
+		}
+		return DataAccess{Result: DataL1Hit}
+	}
+	// L1 missed and was filled by the probe above. Probe L2.
+	hit, ev2, had2 := h.L2.Access(a, write)
+	if hit {
+		return DataAccess{Result: DataL2Hit}
+	}
+	res := DataAccess{Result: DataMiss}
+	if had2 {
+		res.L2Evicted = ev2
+		res.L2HadEv = true
+		res.WriteBack = ev2.Dirty
+		// Inclusion: the block displaced from L2 must leave L1.
+		h.L1.Invalidate(ev2.Block)
+	}
+	return res
+}
+
+// l2MarkDirty marks the L2 copy of a dirty if resident.
+func (h *DataHierarchy) l2MarkDirty(a arch.PAddr) {
+	if h.L2.Lookup(a) {
+		h.L2.Access(a, true) // write hit: marks dirty, keeps residency
+	}
+}
+
+// Invalidate removes the block containing a from both levels (snooping
+// coherence on a remote write). It reports whether the L2 copy was resident
+// and whether it was dirty (requiring a flush in a real machine).
+func (h *DataHierarchy) Invalidate(a arch.PAddr) (wasResident, wasDirty bool) {
+	h.L1.Invalidate(a)
+	return h.L2.Invalidate(a)
+}
+
+// Resident reports whether the block is resident at the L2 (coherence)
+// level.
+func (h *DataHierarchy) Resident(a arch.PAddr) bool { return h.L2.Lookup(a) }
+
+// InvalidateAll empties both levels.
+func (h *DataHierarchy) InvalidateAll() {
+	h.L1.InvalidateAll()
+	h.L2.InvalidateAll()
+}

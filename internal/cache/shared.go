@@ -1,0 +1,58 @@
+package cache
+
+// Coherence-state helpers. The bus package implements a MESI-like
+// invalidation protocol on top of the per-line valid/dirty bits plus the
+// shared bit maintained here:
+//
+//	Invalid    = !valid
+//	Shared     = valid && shared
+//	Exclusive  = valid && !shared && !dirty
+//	Modified   = valid && !shared && dirty
+//
+// The shared bit only matters at the coherence level (the second-level data
+// cache); instruction caches never use it.
+
+import "repro/internal/arch"
+
+func (c *Cache) ensureShared() {
+	if c.sharedBit == nil {
+		c.sharedBit = make([]bool, len(c.valid))
+	}
+}
+
+// SetShared sets the coherence shared bit of the resident block containing
+// a. It is a no-op if the block is not resident.
+func (c *Cache) SetShared(a arch.PAddr, shared bool) {
+	if i, ok := c.find(a); ok {
+		c.ensureShared()
+		c.sharedBit[i] = shared
+	}
+}
+
+// Shared reports the coherence shared bit of the block containing a
+// (false if not resident).
+func (c *Cache) Shared(a arch.PAddr) bool {
+	if c.sharedBit == nil {
+		return false
+	}
+	if i, ok := c.find(a); ok {
+		return c.sharedBit[i]
+	}
+	return false
+}
+
+// Dirty reports whether the block containing a is resident and dirty.
+func (c *Cache) Dirty(a arch.PAddr) bool {
+	if i, ok := c.find(a); ok {
+		return c.dirty[i]
+	}
+	return false
+}
+
+// Clean clears the dirty bit of the block containing a (after a snoop
+// supplies the data to another CPU and memory is updated).
+func (c *Cache) Clean(a arch.PAddr) {
+	if i, ok := c.find(a); ok {
+		c.dirty[i] = false
+	}
+}

@@ -1,0 +1,302 @@
+// Package core is the characterization pipeline — the paper's contribution
+// as an API. One call builds the simulated 4D/340, boots the kernel model,
+// runs a workload under the hardware monitor, postprocesses the bus trace
+// with the Section 2.2 methodology, and exposes every quantity the paper's
+// tables and figures report.
+//
+//	ch := core.Run(core.Config{Workload: workload.Pmake})
+//	user, sys, idle := ch.TimeSplit()
+//	all, os, induced := ch.StallPct()
+package core
+
+import (
+	"repro/internal/arch"
+	"repro/internal/cachesweep"
+	"repro/internal/kernel"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Config selects a workload and machine configuration.
+type Config struct {
+	// Workload is one of workload.Pmake, Multpgm, Oracle.
+	Workload workload.Kind
+	// NCPU is the processor count (default 4, the measured machine).
+	NCPU int
+	// Seed makes runs reproducible (default 1).
+	Seed int64
+	// Window is the traced window in cycles (default 12M ≈ 0.36 s at
+	// 33 MHz); Warmup defaults to half the window.
+	Window arch.Cycles
+	Warmup arch.Cycles
+	// Affinity enables cache-affinity scheduling (the §4.2.2 ablation).
+	Affinity bool
+	// OptimizedText lays out the kernel image to avoid I-cache
+	// conflicts between hot paths (the §4.2.1 ablation).
+	OptimizedText bool
+	// BlockOpBypass routes block copies/clears around the caches (the
+	// §4.2.2 ablation).
+	BlockOpBypass bool
+	// UpdateProtocol switches coherence from write-invalidate to
+	// write-update (a protocol ablation beyond the paper).
+	UpdateProtocol bool
+	// NoTrace disables the monitor and the classification; only kernel
+	// and lock statistics are collected (used by the Figure 11 sweeps).
+	NoTrace bool
+	// CollectIResim records the I-miss stream for Figure 6 sweeps.
+	CollectIResim bool
+	// CollectDResim records the data-miss stream for the §4.2.2
+	// data-cache sweep.
+	CollectDResim bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Window <= 0 {
+		c.Window = 12_000_000
+	}
+	if c.Warmup <= 0 {
+		c.Warmup = c.Window / 2
+	}
+	if c.NCPU == 0 {
+		c.NCPU = arch.DefaultCPUs
+	}
+	return c
+}
+
+// Characterization holds everything measured in one run.
+type Characterization struct {
+	Cfg   Config
+	Sim   *sim.Simulator
+	Trace *trace.Result // nil when Cfg.NoTrace
+	// Ops are the traced-window kernel counters.
+	Ops kernel.Counters
+}
+
+// Run executes the full pipeline.
+func Run(cfg Config) *Characterization {
+	cfg = cfg.withDefaults()
+	s := sim.New(sim.Config{
+		NCPU:           cfg.NCPU,
+		Seed:           cfg.Seed,
+		Window:         cfg.Window,
+		Warmup:         cfg.Warmup,
+		NoTrace:        cfg.NoTrace,
+		UpdateProtocol: cfg.UpdateProtocol,
+		Kernel: kernel.Config{Affinity: cfg.Affinity, OptimizedText: cfg.OptimizedText,
+			BlockOpBypass: cfg.BlockOpBypass},
+	})
+	workload.Setup(s.Kernel(), cfg.Workload)
+	s.Run()
+	ch := &Characterization{
+		Cfg: cfg,
+		Sim: s,
+		Ops: s.K.Counters().Sub(s.BaseCounters),
+	}
+	if !cfg.NoTrace {
+		cl := trace.NewClassifier(s.K.T, s.K.L, cfg.NCPU)
+		cl.CollectIResim = cfg.CollectIResim
+		cl.CollectDResim = cfg.CollectDResim
+		for _, t := range s.Mon.Trace() {
+			cl.Feed(t)
+		}
+		ch.Trace = cl.Finish()
+	}
+	return ch
+}
+
+// NonIdle returns the non-idle execution cycles of the traced window
+// (summed over CPUs).
+func (c *Characterization) NonIdle() arch.Cycles {
+	var n arch.Cycles
+	for _, cpu := range c.Sim.CPUs {
+		n += cpu.Time[arch.ModeUser] + cpu.Time[arch.ModeKernel]
+	}
+	return n
+}
+
+// TimeSplit returns the user/system/idle percentages (Table 1 columns
+// 2-4).
+func (c *Characterization) TimeSplit() (user, sys, idle float64) {
+	var u, s, i arch.Cycles
+	for _, cpu := range c.Sim.CPUs {
+		u += cpu.Time[arch.ModeUser]
+		s += cpu.Time[arch.ModeKernel]
+		i += cpu.Time[arch.ModeIdle]
+	}
+	tot := float64(u + s + i)
+	if tot == 0 {
+		return 0, 0, 0
+	}
+	return 100 * float64(u) / tot, 100 * float64(s) / tot, 100 * float64(i) / tot
+}
+
+// OSMissShare returns OS misses / total misses (Table 1 column 5).
+func (c *Characterization) OSMissShare() float64 {
+	return 100 * c.Trace.OSShare()
+}
+
+// StallPct returns the Table 1 stall columns: all misses, OS misses only,
+// and OS plus OS-induced application misses, each as a percentage of
+// non-idle time (35 cycles per monitored bus access, §3.1).
+func (c *Characterization) StallPct() (all, osOnly, osInduced float64) {
+	nonIdle := float64(c.NonIdle())
+	if nonIdle == 0 {
+		return 0, 0, 0
+	}
+	r := c.Trace
+	induced := r.Counts[0][0][trace.DispOS] + r.Counts[0][1][trace.DispOS]
+	all = 100 * float64(r.Total*arch.MissStallCycles) / nonIdle
+	osOnly = 100 * float64(r.OSMissTotal*arch.MissStallCycles) / nonIdle
+	osInduced = osOnly + 100*float64(induced*arch.MissStallCycles)/nonIdle
+	return all, osOnly, osInduced
+}
+
+// stallShare converts a miss count into its stall percentage of non-idle
+// time, returning 0 for a degenerate all-idle window.
+func (c *Characterization) stallShare(misses int64) float64 {
+	nonIdle := float64(c.NonIdle())
+	if nonIdle == 0 {
+		return 0
+	}
+	return 100 * float64(misses*arch.MissStallCycles) / nonIdle
+}
+
+// OSIMissStallPct returns the stall share of OS instruction misses
+// (Table 9 column 3).
+func (c *Characterization) OSIMissStallPct() float64 {
+	return c.stallShare(c.Trace.ClassSum(1, 1))
+}
+
+// MigrationStallPct returns the stall share of migration data misses
+// (Tables 4 and 9).
+func (c *Characterization) MigrationStallPct() float64 {
+	return c.stallShare(c.Trace.MigrationTotal)
+}
+
+// BlockOpStallPct returns the stall share of block-operation data misses
+// (Tables 6 and 9).
+func (c *Characterization) BlockOpStallPct() float64 {
+	var n int64
+	for _, v := range c.Trace.BlockOpDMisses {
+		n += v
+	}
+	return c.stallShare(n)
+}
+
+// SyncStallPct returns the Table 10 synchronization stall estimates: the
+// sync-bus protocol of the measured machine and the simulated cacheable
+// atomic-RMW scenario, as percentages of non-idle time.
+func (c *Characterization) SyncStallPct() (current, rmwCached float64) {
+	cur, rmw := c.Sim.K.Locks.TotalSyncStall()
+	nonIdle := float64(c.NonIdle())
+	if nonIdle == 0 {
+		return 0, 0
+	}
+	return 100 * float64(cur) / nonIdle, 100 * float64(rmw) / nonIdle
+}
+
+// Figure6 runs the cache sweep (requires CollectIResim).
+func (c *Characterization) Figure6() cachesweep.Figure6Result {
+	if c.Trace == nil || len(c.Trace.IResim) == 0 {
+		panic("core: Figure6 requires CollectIResim")
+	}
+	return cachesweep.Figure6(c.Trace.IResim, c.Cfg.NCPU)
+}
+
+// DCacheSweep replays the data-miss stream against larger and associative
+// coherence-level caches (requires CollectDResim): the paper's §4.2.2
+// argument that Sharing misses set a floor no capacity removes.
+func (c *Characterization) DCacheSweep() []cachesweep.DPoint {
+	if c.Trace == nil || len(c.Trace.DResim) == 0 {
+		panic("core: DCacheSweep requires CollectDResim")
+	}
+	cfgs := []cachesweep.Config{
+		{Size: 256 << 10, Assoc: 1}, // the measured machine's L2
+		{Size: 512 << 10, Assoc: 1},
+		{Size: 1 << 20, Assoc: 1},
+		{Size: 4 << 20, Assoc: 2},
+	}
+	return cachesweep.DSweep(c.Trace.DResim, c.Cfg.NCPU, cfgs)
+}
+
+// InvocationStats summarizes the per-CPU segment streams (Figure 1): the
+// average OS invocation (duration, I/D misses), the idle-loop share, the
+// average application stretch, and the UTLB fault profile.
+type InvocationStats struct {
+	Invocations   int64
+	OSAvgCycles   float64
+	OSAvgIMiss    float64
+	OSAvgDMiss    float64
+	IdleAvgCycles float64
+	AppAvgCycles  float64
+	AppAvgIMiss   float64
+	AppAvgDMiss   float64
+	AppAvgUTLBs   float64
+	// UTLBMissPerFault is ~0.1 in the paper; UTLBCycleShare is the
+	// handler's share of application cycles (~1.5%).
+	UTLBMissPerFault float64
+	// MsBetweenInvocations is the average time between OS invocations
+	// (Section 4.1: 1.9/0.4/0.7 ms).
+	MsBetweenInvocations float64
+}
+
+// Invocations aggregates the Figure 1 statistics.
+func (c *Characterization) Invocations() InvocationStats {
+	var st InvocationStats
+	var osN, idleN, appN int64
+	var osCy, idleCy, appCy arch.Cycles
+	var osI, osD, appI, appD, utlbs, utlbMiss int64
+	seen := map[[2]uint32]bool{} // (cpu, invID) → counted
+	for cpuIdx, segs := range c.Trace.Segments {
+		for _, s := range segs {
+			switch s.Kind {
+			case trace.SegOS:
+				key := [2]uint32{uint32(cpuIdx), s.InvID}
+				if !seen[key] {
+					seen[key] = true
+					osN++
+				}
+				osCy += s.Cycles
+				osI += int64(s.IMiss)
+				osD += int64(s.DMiss)
+			case trace.SegIdle:
+				idleN++
+				idleCy += s.Cycles
+			case trace.SegApp:
+				appN++
+				appCy += s.Cycles
+				appI += int64(s.IMiss)
+				appD += int64(s.DMiss)
+				utlbs += int64(s.UTLBs)
+				utlbMiss += int64(s.UTLBMisses)
+			}
+		}
+	}
+	st.Invocations = osN
+	if osN > 0 {
+		st.OSAvgCycles = float64(osCy) / float64(osN)
+		st.OSAvgIMiss = float64(osI) / float64(osN)
+		st.OSAvgDMiss = float64(osD) / float64(osN)
+	}
+	if idleN > 0 {
+		st.IdleAvgCycles = float64(idleCy) / float64(idleN)
+	}
+	if appN > 0 {
+		st.AppAvgCycles = float64(appCy) / float64(appN)
+		st.AppAvgIMiss = float64(appI) / float64(appN)
+		st.AppAvgDMiss = float64(appD) / float64(appN)
+		st.AppAvgUTLBs = float64(utlbs) / float64(appN)
+	}
+	if utlbs > 0 {
+		st.UTLBMissPerFault = float64(utlbMiss) / float64(utlbs)
+	}
+	if osN > 0 {
+		windowMS := float64(c.Cfg.Window) * arch.CycleNS / 1e6
+		st.MsBetweenInvocations = windowMS * float64(c.Cfg.NCPU) / float64(osN)
+	}
+	return st
+}

@@ -1,0 +1,182 @@
+package kernel
+
+import (
+	"repro/internal/arch"
+	"repro/internal/klock"
+	"repro/internal/kmem"
+	"repro/internal/monitor"
+)
+
+// TLB fault handling. Cheap faults (Table 8) copy a translation from the
+// process's page table into the TLB — the frequent, nearly miss-free
+// spikes of Figure 1 when they are UTLB faults. Expensive faults allocate
+// a physical page: demand-zero data, demand paged-in text (shared through
+// the text cache), or a copy-on-write update.
+
+// ptPageAddr returns the physical page holding the process's page table
+// (one page per process slot, carved out of the kernel heap).
+func (k *Kernel) ptPageAddr(pr *Proc) arch.PAddr {
+	return k.L.KernelHeap.Base + arch.PAddr(pr.Slot)*arch.PageSize
+}
+
+// ptAddr returns the page-table-entry address for a virtual page.
+func (k *Kernel) ptAddr(pr *Proc, vpage uint32) arch.PAddr {
+	return k.ptPageAddr(pr) + arch.PAddr((vpage%(arch.PageSize/4))*4)
+}
+
+// UTLBFault services a cheap user TLB refill: the translation exists in
+// the page table and is copied into the TLB. The handler is tiny and its
+// code stays cached, so an invocation causes well under one miss on
+// average (Section 4.1).
+func (k *Kernel) UTLBFault(p Port, pr *Proc, vpage uint32) {
+	k.OpCounts[OpCheapTLB]++
+	p.Exec(k.T.R("utlbmiss"))
+	// The pte read is protected by the process's Shr_x page-table lock
+	// (uncontended in practice: the lock is per-process).
+	shr := k.shrLock(pr)
+	p.Acquire(shr)
+	p.Load(k.ptAddr(pr, vpage), 4)
+	p.Release(shr)
+	pi := pr.pages[vpage]
+	p.TLBInsert(pr.PID, vpage, pi.Frame)
+	p.Escape(monitor.EvUTLB, uint32(pr.PID))
+}
+
+// IsMapped reports whether the virtual page is mapped (true → a TLB miss
+// on it is a cheap UTLB fault; false → expensive fault).
+func (k *Kernel) IsMapped(pr *Proc, vpage uint32) bool {
+	_, ok := pr.pages[vpage]
+	return ok
+}
+
+// IsCOW reports whether a store to the page requires a copy-on-write
+// fault.
+func (k *Kernel) IsCOW(pr *Proc, vpage uint32) bool {
+	pi, ok := pr.pages[vpage]
+	return ok && pi.COW
+}
+
+// PageFault services an expensive TLB fault on an unmapped page (or a
+// copy-on-write store). The simulator wraps it in an OS invocation of kind
+// OpExpensiveTLB.
+func (k *Kernel) PageFault(p Port, pr *Proc, vpage uint32, write bool) {
+	p.Exec(k.T.R("pt_lookup"))
+	p.Exec(k.T.R("pagein"))
+	p.Load(k.ptAddr(pr, vpage), 4)
+
+	if pi, ok := pr.pages[vpage]; ok {
+		if pi.COW && write {
+			// Copy-on-write update: full-page copy (Table 7).
+			nfr := k.AllocFrame(p, kmem.FrameData, pr.PID, vpage)
+			k.Bcopy(p, arch.FrameAddr(pi.Frame), arch.FrameAddr(nfr),
+				arch.PageSize, "copy-on-write page")
+			// Drop this process's claim on the original frame,
+			// mirroring the ExitProc unmap convention: a Shared
+			// frame is released by its last unmapper; a private
+			// frame still COW-referenced by a sibling stays live
+			// under that sibling's mapping.
+			if pi.Shared {
+				k.sharedRef[pi.Frame]--
+				if k.sharedRef[pi.Frame] <= 0 {
+					delete(k.sharedRef, pi.Frame)
+					k.FreeFrame(p, pi.Frame)
+				}
+			}
+			pr.pages[vpage] = PageInfo{Frame: nfr}
+			// Shoot down stale translations of the shared frame on
+			// every CPU (and their micro-TLBs) before mapping the
+			// private copy, or a CPU the process ran on earlier
+			// could keep storing to the pre-copy frame.
+			p.TLBInvalidateFrame(pi.Frame)
+			p.Store(k.ptAddr(pr, vpage), 4)
+			p.TLBInsert(pr.PID, vpage, nfr)
+			return
+		}
+		// Already mapped (e.g. a shared page faulted in by a peer on
+		// this process's behalf): just refill the TLB.
+		p.TLBInsert(pr.PID, vpage, pi.Frame)
+		return
+	}
+
+	isCode := pr.image != nil && vpage >= CodeVBase && vpage < CodeVBase+uint32(pr.image.CodePages)
+	isShared := vpage >= SharedVBase
+
+	switch {
+	case isCode:
+		k.codePageIn(p, pr, vpage)
+	case isShared:
+		k.sharedFault(p, pr, vpage)
+	default:
+		// Demand-zero data page (Table 7: full-page clear).
+		fr := k.AllocFrame(p, kmem.FrameData, pr.PID, vpage)
+		k.Bclear(p, arch.FrameAddr(fr), arch.PageSize, "demand-zero page")
+		pr.pages[vpage] = PageInfo{Frame: fr}
+	}
+	pi := pr.pages[vpage]
+	p.Store(k.ptAddr(pr, vpage), 4)
+	p.TLBInsert(pr.PID, vpage, pi.Frame)
+}
+
+// codePageIn maps one text page, sharing frames through the text cache:
+// if the image's page is already in memory (mapped by another process or
+// cached from an exited one) it is simply mapped; otherwise a frame is
+// allocated and the page read in from the file cache (a full-page copy).
+func (k *Kernel) codePageIn(p Port, pr *Proc, vpage uint32) {
+	img := pr.image
+	idx := int(vpage - CodeVBase)
+	cachePages := k.textCache[img.ID]
+	if cachePages == nil {
+		cachePages = make([]uint32, img.CodePages)
+		k.textCache[img.ID] = cachePages
+	}
+	if fr := cachePages[idx]; fr != 0 && k.F.State(fr) != kmem.StateFree {
+		// Shared text hit: reactivate if it was merely cached.
+		if k.F.State(fr) == kmem.StateCached {
+			k.F.Reactivate(fr)
+		}
+		pr.pages[vpage] = PageInfo{Frame: fr, Code: true, Shared: true}
+		return
+	}
+	fr := k.AllocFrame(p, kmem.FrameCode, pr.PID, vpage)
+	cachePages[idx] = fr
+	k.frameText[fr] = [2]int{img.ID, idx}
+	// Demand page-in from the file's cached pages.
+	src := k.L.BufDataAddr((img.ID*7 + idx) % kmem.NumBufs)
+	k.Bcopy(p, src, arch.FrameAddr(fr), arch.PageSize, "demand page-in of text")
+	pr.pages[vpage] = PageInfo{Frame: fr, Code: true, Shared: true}
+}
+
+// sharedFault maps a shared data page (Mp3d particle arrays, database
+// buffer pool): the group leader allocates and zeroes the frame; followers
+// map the leader's frame.
+func (k *Kernel) sharedFault(p Port, pr *Proc, vpage uint32) {
+	if pr.sharedLeader != nil {
+		if pi, ok := pr.sharedLeader.pages[vpage]; ok {
+			pr.pages[vpage] = PageInfo{Frame: pi.Frame, Shared: true}
+			k.sharedRef[pi.Frame]++
+			return
+		}
+		// The leader has not faulted this page yet: allocate it on
+		// the leader's behalf so both see the same frame.
+		fr := k.AllocFrame(p, kmem.FrameData, pr.sharedLeader.PID, vpage)
+		k.Bclear(p, arch.FrameAddr(fr), arch.PageSize, "demand-zero page")
+		pr.sharedLeader.pages[vpage] = PageInfo{Frame: fr, Shared: true}
+		pr.pages[vpage] = PageInfo{Frame: fr, Shared: true}
+		k.sharedRef[fr] += 2
+		return
+	}
+	fr := k.AllocFrame(p, kmem.FrameData, pr.PID, vpage)
+	k.Bclear(p, arch.FrameAddr(fr), arch.PageSize, "demand-zero page")
+	pr.pages[vpage] = PageInfo{Frame: fr, Shared: true}
+	k.sharedRef[fr]++
+}
+
+// shrLock returns the process's Shr_x page-table lock.
+func (k *Kernel) shrLock(pr *Proc) *klock.Lock {
+	return k.Locks.Elem(klock.ShrX, pr.Slot)
+}
+
+// LockShr acquires the per-process page-table lock around fault handling
+// (the Shr_x family of Table 11).
+func (k *Kernel) LockShr(p Port, pr *Proc)   { p.Acquire(k.shrLock(pr)) }
+func (k *Kernel) UnlockShr(p Port, pr *Proc) { p.Release(k.shrLock(pr)) }

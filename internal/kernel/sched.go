@@ -1,0 +1,252 @@
+package kernel
+
+import (
+	"repro/internal/arch"
+	"repro/internal/klock"
+	"repro/internal/kmem"
+	"repro/internal/monitor"
+)
+
+// Scheduling. The kernel keeps one global run queue protected by Runqlk;
+// any CPU picks the head when it reschedules, so processes migrate freely
+// among CPUs — turning their kernel stacks, user structures and
+// process-table entries into shared data (Section 4.2.2, "process
+// migration"). The Affinity option implements cache-affinity scheduling:
+// a CPU prefers ready processes that last ran on it.
+
+// interactiveThreshold is the CPU usage below which a process re-enters
+// the run queue at interactive priority.
+const interactiveThreshold = 40_000 // ≈1.2 ms
+
+// setrq puts a process on the run queue (the kernel's setrq routine).
+// Processes that used little CPU in their last run (sginap callers,
+// woken interactive sleepers) enter the high-priority queue; CPU hogs
+// enter the low queue and are aged up by the clock.
+func (k *Kernel) setrq(p Port, pr *Proc) {
+	p.Exec(k.T.R("setrq"))
+	rq := k.Locks.Get(klock.Runqlk)
+	p.Acquire(rq)
+	p.Load(k.L.RunQueue.Base, kmem.RunQueueSize)
+	p.Store(k.L.RunQueue.Base, 8)
+	k.touchProcEntry(p, pr, 64, true)
+	pr.State = StateReady
+	pr.EnqueuedAt = p.Now()
+	if pr.QuantumUsed < interactiveThreshold {
+		k.runqHi = append(k.runqHi, pr)
+	} else {
+		k.runqLo = append(k.runqLo, pr)
+	}
+	p.Release(rq)
+}
+
+// remrqPick removes the best ready process for this CPU from the run
+// queue, or returns nil. It executes the whichq/remrq pair and touches the
+// queue head, the priority flag and the table entries of the processes it
+// examines.
+func (k *Kernel) remrqPick(p Port) *Proc {
+	p.Exec(k.T.R("whichq"))
+	rq := k.Locks.Get(klock.Runqlk)
+	p.Acquire(rq)
+	p.Load(k.L.RunQueue.Base, kmem.RunQueueSize)
+	p.Load(k.L.HiNdproc.Base, kmem.HiNdprocSize)
+	q := &k.runqHi
+	if len(*q) == 0 {
+		q = &k.runqLo
+	}
+	pick := -1
+	if k.Cfg.Affinity {
+		scan := len(*q)
+		if scan > 4 {
+			scan = 4
+		}
+		for i := 0; i < scan; i++ {
+			k.touchProcEntry(p, (*q)[i], 64, false)
+			if (*q)[i].LastCPU == p.CPU() {
+				pick = i
+				break
+			}
+		}
+		if pick < 0 && len(*q) > 0 {
+			pick = 0
+		}
+	} else if len(*q) > 0 {
+		pick = 0
+		k.touchProcEntry(p, (*q)[0], 64, false)
+	}
+	if pick < 0 {
+		p.Release(rq)
+		return nil
+	}
+	p.Exec(k.T.R("remrq"))
+	pr := (*q)[pick]
+	*q = append((*q)[:pick], (*q)[pick+1:]...)
+	p.Store(k.L.RunQueue.Base, 8)
+	k.touchProcEntry(p, pr, 64, true)
+	p.Release(rq)
+	return pr
+}
+
+// ContextSwitch performs swtch: saves the outgoing process's state (unless
+// it already went to sleep), picks the next ready process and restores its
+// state. It returns nil when the run queue is empty (the CPU should enter
+// the idle loop). requeueOld re-adds the outgoing process to the run queue
+// (preemption, sginap); a process that blocked is already on a sleep
+// queue.
+func (k *Kernel) ContextSwitch(p Port, old *Proc, requeueOld bool) *Proc {
+	p.Exec(k.T.R("swtch"))
+	if old != nil {
+		p.Exec(k.T.R("save_ctx"))
+		k.touchPCB(p, old, true)
+		k.kstackTouch(p, old, 128, true)
+		if requeueOld {
+			k.setrq(p, old)
+		}
+	}
+	next := k.remrqPick(p)
+	if next == nil {
+		return nil
+	}
+	p.Exec(k.T.R("restore_ctx"))
+	k.touchPCB(p, next, false)
+	k.touchURest(p, next, 128, false)
+	k.kstackTouch(p, next, 128, false)
+	k.CtxSwitches++
+	if next.HasRun && next.LastCPU != p.CPU() {
+		k.Migrations++
+	}
+	next.HasRun = true
+	next.LastCPU = p.CPU()
+	next.State = StateRunning
+	next.QuantumUsed = 0
+	p.Escape(monitor.EvRunProc, uint32(next.PID))
+	return next
+}
+
+// SleepProc blocks a process on a channel with a continuation to run when
+// it is next scheduled.
+func (k *Kernel) SleepProc(p Port, pr *Proc, ch SleepChan, op OpKind, cont func(Port, *Proc) SysStatus) {
+	p.Exec(k.T.R("sleep"))
+	k.kstackTouch(p, pr, 64, true)
+	pr.State = StateSleeping
+	pr.sleepOn = ch
+	pr.kcont = cont
+	pr.kcontOp = op
+	k.sleepQ[ch] = append(k.sleepQ[ch], pr)
+}
+
+// Wakeup makes every process sleeping on ch runnable and returns how many
+// woke.
+func (k *Kernel) Wakeup(p Port, ch SleepChan) int {
+	sleepers := k.sleepQ[ch]
+	if len(sleepers) == 0 {
+		return 0
+	}
+	p.Exec(k.T.R("wakeup"))
+	delete(k.sleepQ, ch)
+	for _, pr := range sleepers {
+		pr.sleepOn = NoChan
+		k.setrq(p, pr)
+	}
+	return len(sleepers)
+}
+
+// TakeContinuation removes and returns the pending kernel continuation of
+// a process about to be scheduled (nil if it was not mid-syscall).
+func (k *Kernel) TakeContinuation(pr *Proc) (func(Port, *Proc) SysStatus, OpKind) {
+	c := pr.kcont
+	pr.kcont = nil
+	return c, pr.kcontOp
+}
+
+// EnterException models the assembly exception prologue: vector dispatch
+// and register save into the process's exception frame.
+func (k *Kernel) EnterException(p Port, pr *Proc) {
+	p.Exec(k.T.R("exc_vec"))
+	p.Exec(k.T.R("exc_save"))
+	if pr != nil {
+		k.touchEframe(p, pr, true)
+		k.kstackTouch(p, pr, 64, true)
+	}
+}
+
+// ExitException models the epilogue: register restore from the exception
+// frame.
+func (k *Kernel) ExitException(p Port, pr *Proc) {
+	p.Exec(k.T.R("exc_restore"))
+	if pr != nil {
+		k.touchEframe(p, pr, false)
+	}
+}
+
+// ClockIntr handles the 10 ms scheduler tick on the executing CPU: charge
+// the current process, run the callout table, and report whether the CPU
+// should reschedule.
+func (k *Kernel) ClockIntr(p Port, cur *Proc, now arch.Cycles) (resched bool) {
+	p.Exec(k.T.R("clock_intr"))
+	p.Exec(k.T.R("hardclock"))
+	if cur != nil {
+		k.kstackTouch(p, cur, 64, true)
+		k.touchProcEntry(p, cur, 32, true)
+	}
+	// Callout processing: scan the timer table under Calock; expired
+	// entries wake their channels (softclock).
+	ca := k.Locks.Get(klock.Calock)
+	p.Acquire(ca)
+	p.Load(k.L.Callout.Base, 64)
+	var remaining []timer
+	fired := 0
+	for _, t := range k.timers {
+		if t.at <= now {
+			if fired == 0 {
+				p.Exec(k.T.R("softclock"))
+			}
+			p.Exec(k.T.R("timeout"))
+			p.Store(k.L.Callout.Base+arch.PAddr(16*(fired%64)), 16)
+			k.Wakeup(p, t.ch)
+			fired++
+		} else {
+			remaining = append(remaining, t)
+		}
+	}
+	k.timers = remaining
+	p.Release(ca)
+	// Priority aging: promote one starved CPU hog per tick (schedcpu).
+	if len(k.runqLo) > 0 {
+		p.Exec(k.T.R("schedcpu"))
+		k.runqHi = append(k.runqHi, k.runqLo[0])
+		k.runqLo = k.runqLo[1:]
+	}
+	if cur != nil && cur.QuantumUsed >= k.Cfg.QuantumCycles && k.RunnableCount() > 0 {
+		resched = true
+	}
+	return resched
+}
+
+// DiskIntr handles a disk-controller completion interrupt: acknowledge the
+// controller, touch the buffer header, wake the sleeping process.
+func (k *Kernel) DiskIntr(p Port, ch SleepChan) {
+	p.Exec(k.T.R("dksc_intr"))
+	p.UncachedRead(kmem.DevRegsBase) // controller status register
+	// Asynchronous completions (delayed writes) carry no sleep channel;
+	// Go's % keeps the sign, so a negative channel must not index the
+	// header array.
+	hdr := int(ch)
+	if hdr < 0 {
+		hdr = 0
+	}
+	p.Store(k.L.BufHeaderAddr(hdr%kmem.NumBufs), 64)
+	if ch != NoChan {
+		k.Wakeup(p, ch)
+	}
+}
+
+// NetIntr handles a network interrupt (CPU 1 only; the trace-transfer
+// daemons of Section 2.1 and IRIX's CPU-1-bound network functions).
+func (k *Kernel) NetIntr(p Port) {
+	p.Exec(k.T.R("net_intr"))
+	p.UncachedRead(kmem.DevRegsBase + 64)
+	p.Exec(k.T.R("ip_input"))
+	p.Exec(k.T.R("net_daemon"))
+	// Packet buffers live in the kernel heap's scratch area.
+	p.Store(k.L.HeapScratch(k.Rand.Intn(64)*256), 256)
+}

@@ -1,0 +1,674 @@
+package kernel
+
+import (
+	"sort"
+
+	"repro/internal/arch"
+	"repro/internal/klock"
+	"repro/internal/kmem"
+)
+
+// OpKindOf maps a system call to its Table 8 high-level operation.
+func OpKindOf(req SyscallReq) OpKind {
+	switch req.Kind {
+	case SysRead, SysWrite, SysPipeRead, SysPipeWrite:
+		// All read/write system calls, including those on pipes and
+		// character streams (Table 8 classifies by system call).
+		return OpIOSyscall
+	case SysSginap:
+		return OpSginap
+	default:
+		return OpOtherSyscall
+	}
+}
+
+// CountOp records one high-level OS operation (called by the simulator at
+// each OS invocation; Figure 2).
+func (k *Kernel) CountOp(op OpKind) { k.OpCounts[op]++ }
+
+// inodeIdx hashes a file id onto an in-core inode slot.
+func inodeIdx(inode int) int {
+	if inode < 0 {
+		inode = -inode
+	}
+	return inode % kmem.NumInodes
+}
+
+// bufIdx hashes a file page onto a buffer header.
+func bufIdx(key fileKey) int {
+	h := key.inode*31 + int(key.page)
+	if h < 0 {
+		h = -h
+	}
+	return h % kmem.NumBufs
+}
+
+// userFrame returns the physical frame of a mapped user data page to use
+// as the user-side of a copy, preferring the process's first mapped data
+// page. ok is false when the process has no mapped data page yet.
+func (k *Kernel) userFrame(pr *Proc) (arch.PAddr, bool) {
+	for _, vp := range pr.FP.DataVPages {
+		if pi, ok := pr.pages[vp]; ok && !pi.Code {
+			return arch.FrameAddr(pi.Frame), true
+		}
+	}
+	return 0, false
+}
+
+// syscallEnter is the common recognition-and-setup path: dispatch, user
+// structure access, and the copyin of arguments from user space (the
+// "copy of strings or system call parameters" of Table 7).
+func (k *Kernel) syscallEnter(p Port, pr *Proc, argBytes int) {
+	p.Exec(k.T.R("syscall_entry"))
+	k.touchURest(p, pr, 64, false)
+	k.kstackTouch(p, pr, 96, true)
+	if argBytes > 0 {
+		if ua, ok := k.userFrame(pr); ok {
+			dst := k.L.KStackAddr(pr.Slot) + kmem.KStackSize - 512
+			k.Bcopy(p, ua, dst, argBytes, "syscall parameters")
+		}
+	}
+}
+
+// syscallExit stores the return values into the user structure.
+func (k *Kernel) syscallExit(p Port, pr *Proc) {
+	p.Exec(k.T.R("syscall_exit"))
+	k.touchURest(p, pr, 32, true)
+}
+
+// Syscall executes one system call. It may return SysBlocked, in which
+// case the process sleeps and its continuation runs when rescheduled.
+func (k *Kernel) Syscall(p Port, pr *Proc, req SyscallReq) SysStatus {
+	switch req.Kind {
+	case SysRead:
+		return k.doRead(p, pr, req)
+	case SysWrite:
+		return k.doWrite(p, pr, req)
+	case SysOpen:
+		return k.doOpen(p, pr, req)
+	case SysClose:
+		return k.doClose(p, pr, req)
+	case SysSpawn:
+		return k.doSpawn(p, pr, req)
+	case SysSginap:
+		return k.doSginap(p, pr)
+	case SysNap:
+		return k.doNap(p, pr, req)
+	case SysPipeRead:
+		return k.doPipeRead(p, pr, req)
+	case SysPipeWrite:
+		return k.doPipeWrite(p, pr, req)
+	case SysBrk:
+		return k.doBrk(p, pr, req)
+	case SysSmall:
+		return k.doSmall(p, pr)
+	case SysWait:
+		return k.doWait(p, pr)
+	case SysMisc:
+		return k.doMisc(p, pr)
+	case SysSemop:
+		return k.doSemop(p, pr, req)
+	default:
+		panic("kernel: unknown syscall")
+	}
+}
+
+// ---- read / write through the page cache ----
+
+func clampIO(n int) int {
+	if n <= 0 {
+		return 512
+	}
+	if n > arch.PageSize {
+		return arch.PageSize
+	}
+	return n
+}
+
+func (k *Kernel) doRead(p Port, pr *Proc, req SyscallReq) SysStatus {
+	k.syscallEnter(p, pr, 16)
+	p.Exec(k.T.R("sys_read"))
+	p.Exec(k.T.R("rwuio"))
+	if req.Raw {
+		return k.doReadRaw(p, pr, req)
+	}
+	key := fileKey{inode: req.Inode, page: req.Offset >> arch.PageShift}
+	k.kstackTouchAt(p, pr, 2, 160, true) // rwuio call frames
+	k.touchURest(p, pr, 96, false)       // file descriptor and uio state
+	ino := k.Locks.Elem(klock.InoX, inodeIdx(req.Inode))
+	p.Acquire(ino)
+	p.Load(k.L.InodeAddr(inodeIdx(req.Inode)), 64)
+	fr, hit := k.fileCache[key]
+	if hit && k.F.State(fr) != kmem.StateFree {
+		k.readCopyOut(p, pr, fr, req)
+		p.Release(ino)
+		k.syscallExit(p, pr)
+		return SysDone
+	}
+	p.Release(ino)
+	// Page-cache miss: allocate a frame and read from disk.
+	fr = k.AllocFrame(p, kmem.FrameBuf, pr.PID, 0)
+	k.fileCache[key] = fr
+	k.frameFile[fr] = key
+	ch := k.startDiskRead(p, key)
+	k.SleepProc(p, pr, ch, OpIOSyscall, func(p Port, pr *Proc) SysStatus {
+		p.Exec(k.T.R("ufs_readwrite"))
+		k.kstackTouchAt(p, pr, 3, 192, false) // resume the sleeping frames
+		ino := k.Locks.Elem(klock.InoX, inodeIdx(req.Inode))
+		p.Acquire(ino)
+		p.Load(k.L.InodeAddr(inodeIdx(req.Inode)), 64)
+		k.readCopyOut(p, pr, fr, req)
+		p.Release(ino)
+		if k.F.State(fr) == kmem.StateUsed {
+			k.F.CacheFrame(fr) // page joins the reclaimable page cache
+		}
+		k.syscallExit(p, pr)
+		return SysDone
+	})
+	return SysBlocked
+}
+
+// physioPin pins the user's buffer pages for DMA (the physio path of raw
+// I/O): the page is locked under Memlock and its descriptor updated.
+func (k *Kernel) physioPin(p Port, pr *Proc) {
+	ua, ok := k.userFrame(pr)
+	if !ok {
+		return
+	}
+	mem := k.Locks.Get(klock.Memlock)
+	p.Acquire(mem)
+	p.Load(k.L.PfdatAddrOfFrame(ua.Frame()), kmem.PfdatEntrySize)
+	p.Store(k.L.PfdatAddrOfFrame(ua.Frame()), 8)
+	p.Release(mem)
+}
+
+// doReadRaw reads from a raw device: the controller DMAs straight into
+// the user's buffer, so the CPU copies nothing; the buffer pages are
+// pinned and a raw buffer header tracks the transfer.
+func (k *Kernel) doReadRaw(p Port, pr *Proc, req SyscallReq) SysStatus {
+	ino := k.Locks.Elem(klock.InoX, inodeIdx(req.Inode))
+	p.Acquire(ino)
+	p.Load(k.L.InodeAddr(inodeIdx(req.Inode)), 64)
+	p.Release(ino)
+	k.physioPin(p, pr)
+	bl := k.Locks.Get(klock.Bfreelock)
+	p.Acquire(bl)
+	p.Store(k.L.BufHeaderAddr(inodeIdx(req.Inode)%kmem.NumBufs), 64)
+	p.Release(bl)
+	ch := k.startDiskRead(p, fileKey{inode: req.Inode, page: req.Offset >> arch.PageShift})
+	k.SleepProc(p, pr, ch, OpIOSyscall, func(p Port, pr *Proc) SysStatus {
+		p.Exec(k.T.R("ufs_readwrite"))
+		p.Store(k.L.InodeAddr(inodeIdx(req.Inode)), 32)
+		k.syscallExit(p, pr)
+		return SysDone
+	})
+	return SysBlocked
+}
+
+// doWriteRaw appends to a raw device asynchronously (DMA from the user's
+// buffer; delayed completion, nobody sleeps).
+func (k *Kernel) doWriteRaw(p Port, pr *Proc, req SyscallReq) SysStatus {
+	ino := k.Locks.Elem(klock.InoX, inodeIdx(req.Inode))
+	p.Acquire(ino)
+	p.Load(k.L.InodeAddr(inodeIdx(req.Inode)), 64)
+	p.Store(k.L.InodeAddr(inodeIdx(req.Inode)), 32)
+	p.Release(ino)
+	k.physioPin(p, pr)
+	bl := k.Locks.Get(klock.Bfreelock)
+	p.Acquire(bl)
+	p.Store(k.L.BufHeaderAddr(inodeIdx(req.Inode)%kmem.NumBufs), 64)
+	p.Release(bl)
+	p.Exec(k.T.R("dksc_strategy"))
+	p.Exec(k.T.R("dksc_start"))
+	p.UncachedRead(kmem.DevRegsBase + 16)
+	k.DiskRequests++
+	k.postEvent(p.Now()+k.Cfg.DiskLatencyCycles, IntrDisk, NoChan, 0)
+	k.syscallExit(p, pr)
+	return SysDone
+}
+
+// readCopyOut transfers the requested fragment from the cache page to the
+// user buffer (a regular page fragment, Table 7) and updates the inode.
+func (k *Kernel) readCopyOut(p Port, pr *Proc, fr uint32, req SyscallReq) {
+	p.Exec(k.T.R("ufs_readwrite"))
+	n := clampIO(req.Bytes)
+	src := arch.FrameAddr(fr) + arch.PAddr(int(req.Offset)&(arch.PageSize-1)&^(arch.BlockSize-1))
+	if int(src.Offset())+n > arch.PageSize {
+		n = arch.PageSize - int(src.Offset())
+	}
+	dst, ok := k.userFrame(pr)
+	if !ok {
+		dst = k.L.HeapScratch(0)
+	}
+	k.Bcopy(p, src, dst, n, "transfer out of buffer cache")
+	p.Store(k.L.InodeAddr(inodeIdx(req.Inode)), 32) // file position
+	// The transfer is staged through a buffer header.
+	bl := k.Locks.Get(klock.Bfreelock)
+	p.Acquire(bl)
+	p.Store(k.L.BufHeaderAddr(bufIdx(fileKey{req.Inode, req.Offset >> arch.PageShift})), 64)
+	p.Release(bl)
+}
+
+// startDiskRead issues the controller request and returns the channel the
+// completion interrupt will signal.
+func (k *Kernel) startDiskRead(p Port, key fileKey) SleepChan {
+	p.Exec(k.T.R("bread"))
+	p.Exec(k.T.R("getblk"))
+	bl := k.Locks.Get(klock.Bfreelock)
+	p.Acquire(bl)
+	p.Load(k.L.BufHeaderAddr(bufIdx(key)), 64)
+	p.Store(k.L.BufHeaderAddr(bufIdx(key)), 32)
+	p.Release(bl)
+	p.Exec(k.T.R("dksc_strategy"))
+	p.Exec(k.T.R("dksc_start"))
+	p.UncachedRead(kmem.DevRegsBase + 16)
+	k.DiskRequests++
+	ch := k.NewChan()
+	// Disk interrupts are taken on CPU 0 (the controller's CPU).
+	k.postEvent(p.Now()+k.Cfg.DiskLatencyCycles+arch.Cycles(len(k.events))*20_000,
+		IntrDisk, ch, 0)
+	return ch
+}
+
+func (k *Kernel) doWrite(p Port, pr *Proc, req SyscallReq) SysStatus {
+	k.syscallEnter(p, pr, 16)
+	p.Exec(k.T.R("sys_write"))
+	p.Exec(k.T.R("rwuio"))
+	if req.Raw {
+		return k.doWriteRaw(p, pr, req)
+	}
+	k.kstackTouchAt(p, pr, 2, 160, true)
+	k.touchURest(p, pr, 96, false)
+	key := fileKey{inode: req.Inode, page: req.Offset >> arch.PageShift}
+	ino := k.Locks.Elem(klock.InoX, inodeIdx(req.Inode))
+	p.Acquire(ino)
+	p.Load(k.L.InodeAddr(inodeIdx(req.Inode)), 64)
+	fr, hit := k.fileCache[key]
+	if !hit || k.F.State(fr) == kmem.StateFree {
+		// New file page: allocate the cache page and a disk block.
+		fr = k.AllocFrame(p, kmem.FrameBuf, pr.PID, 0)
+		k.fileCache[key] = fr
+		k.frameFile[fr] = key
+		p.Exec(k.T.R("fs_balloc"))
+		dfb := k.Locks.Get(klock.Dfbmaplk)
+		p.Acquire(dfb)
+		p.Load(k.L.Dfbmap.Base+arch.PAddr(k.Rand.Intn(64)*64), 64)
+		p.Store(k.L.Dfbmap.Base+arch.PAddr(k.Rand.Intn(64)*64), 16)
+		p.Release(dfb)
+		defer func() {
+			if k.F.State(fr) == kmem.StateUsed {
+				k.F.CacheFrame(fr)
+			}
+		}()
+	}
+	// Copy the fragment from user space into the cache page (delayed
+	// write — no sleep).
+	n := clampIO(req.Bytes)
+	dst := arch.FrameAddr(fr) + arch.PAddr(int(req.Offset)&(arch.PageSize-1)&^(arch.BlockSize-1))
+	if int(dst.Offset())+n > arch.PageSize {
+		n = arch.PageSize - int(dst.Offset())
+	}
+	src, ok := k.userFrame(pr)
+	if !ok {
+		src = k.L.HeapScratch(0)
+	}
+	k.Bcopy(p, src, dst, n, "transfer into buffer cache")
+	p.Store(k.L.InodeAddr(inodeIdx(req.Inode)), 32)
+	p.Store(k.L.BufHeaderAddr(bufIdx(key)), 64)
+	// Periodic delayed write-back to disk (asynchronous: nobody sleeps).
+	if k.Rand.Intn(4) == 0 {
+		p.Exec(k.T.R("bwrite"))
+		p.Exec(k.T.R("dksc_strategy"))
+		p.UncachedRead(kmem.DevRegsBase + 16)
+		k.DiskRequests++
+		k.postEvent(p.Now()+k.Cfg.DiskLatencyCycles, IntrDisk, NoChan, 0)
+	}
+	p.Release(ino)
+	k.syscallExit(p, pr)
+	return SysDone
+}
+
+// ---- open / close ----
+
+func (k *Kernel) doOpen(p Port, pr *Proc, req SyscallReq) SysStatus {
+	k.syscallEnter(p, pr, 32) // the path name
+	p.Exec(k.T.R("sys_open"))
+	p.Exec(k.T.R("namei"))
+	// Directory lookup touches a couple of in-core inodes.
+	p.Load(k.L.InodeAddr(inodeIdx(req.Inode/7)), 64)
+	p.Load(k.L.InodeAddr(inodeIdx(req.Inode/3)), 64)
+	p.Exec(k.T.R("iget"))
+	ifr := k.Locks.Get(klock.Ifree)
+	p.Acquire(ifr)
+	p.Load(k.L.InodeAddr(inodeIdx(req.Inode)), 32)
+	p.Store(k.L.InodeAddr(inodeIdx(req.Inode)), 64)
+	p.Release(ifr)
+	// Initialize the inode-related in-core structures (an irregular
+	// clear, Table 7).
+	k.Bclear(p, k.L.HeapScratch(96*1024+(inodeIdx(req.Inode)%64)*512), 288, "kernel structure init")
+	k.touchURest(p, pr, 64, true) // new file descriptor
+	k.syscallExit(p, pr)
+	return SysDone
+}
+
+func (k *Kernel) doClose(p Port, pr *Proc, req SyscallReq) SysStatus {
+	k.syscallEnter(p, pr, 8)
+	p.Exec(k.T.R("sys_close"))
+	p.Exec(k.T.R("iput"))
+	ifr := k.Locks.Get(klock.Ifree)
+	p.Acquire(ifr)
+	p.Store(k.L.InodeAddr(inodeIdx(req.Inode)), 32)
+	p.Release(ifr)
+	k.touchURest(p, pr, 32, true)
+	k.syscallExit(p, pr)
+	return SysDone
+}
+
+// ---- process management ----
+
+func (k *Kernel) doSpawn(p Port, pr *Proc, req SyscallReq) SysStatus {
+	spec := req.Child
+	k.syscallEnter(p, pr, 64) // argv strings
+	p.Exec(k.T.R("sys_fork"))
+	p.Exec(k.T.R("newproc"))
+	slot := k.freeSlot()
+	child := &Proc{
+		PID:           k.nextPID,
+		Slot:          slot,
+		Name:          spec.Name,
+		State:         StateReady,
+		Behavior:      spec.Behavior,
+		pages:         make(map[uint32]PageInfo),
+		image:         spec.Image,
+		sleepOn:       NoChan,
+		ChildExitChan: k.NewChan(),
+		LastCPU:       -1,
+		Parent:        pr,
+	}
+	k.nextPID++
+	k.procs[slot] = child
+	k.initFootprint(child, spec)
+	pr.LiveChildren++
+	k.Spawns++
+	// Initialize the child's table entry and user structure.
+	k.touchProcEntry(p, child, 256, true)
+	k.Bclear(p, k.L.UStructAddr(slot), 512, "kernel structure init")
+	// A fresh page-table page is allocated and zeroed (Table 7: full-
+	// page clear for page table entries).
+	k.Bclear(p, k.ptPageAddr(child), arch.PageSize, "page table page")
+	// Copy-on-write: the child updates a couple of the parent's data
+	// pages immediately (stack, environment) — full-page copies.
+	cow := 0
+	if k.Rand.Intn(2) == 0 {
+		cow = 1 // this exec overlays everything before any write
+	}
+	for _, vp := range pr.FP.DataVPages {
+		if cow == 1 {
+			break
+		}
+		pi, ok := pr.pages[vp]
+		if !ok || pi.Code {
+			continue
+		}
+		nfr := k.AllocFrame(p, kmem.FrameData, child.PID, vp)
+		k.Bcopy(p, arch.FrameAddr(pi.Frame), arch.FrameAddr(nfr),
+			arch.PageSize, "copy-on-write page")
+		if int(vp)-DataVBase < len(child.FP.DataVPages) {
+			child.pages[vp] = PageInfo{Frame: nfr}
+			p.Store(k.ptAddr(child, vp), 4)
+		} else {
+			// The child's layout lacks this page; treat the frame
+			// as its first data page anyway.
+			child.pages[vp] = PageInfo{Frame: nfr}
+			p.Store(k.ptAddr(child, vp), 4)
+		}
+		cow++
+	}
+	// Exec: name lookup and image header load; text pages are mapped
+	// lazily and fault in on demand (shared with the text cache).
+	p.Exec(k.T.R("sys_exec"))
+	p.Exec(k.T.R("namei"))
+	p.Load(k.L.InodeAddr(inodeIdx(int(child.PID))), 64)
+	p.Exec(k.T.R("load_image"))
+	if spec.Image != nil {
+		k.textRef[spec.Image.ID]++
+	}
+	k.setrq(p, child)
+	k.syscallExit(p, pr)
+	return SysDone
+}
+
+// ExitProc terminates a process: free its private pages, release its text
+// reference (caching the text frames for future execs), invalidate its TLB
+// entries everywhere, and wake its parent.
+func (k *Kernel) ExitProc(p Port, pr *Proc) SysStatus {
+	k.syscallEnter(p, pr, 0)
+	p.Exec(k.T.R("sys_exit"))
+	// Free pages in ascending virtual order (deterministic across runs;
+	// Go map iteration order is randomized).
+	vps := make([]uint32, 0, len(pr.pages))
+	for vp := range pr.pages {
+		vps = append(vps, vp)
+	}
+	sort.Slice(vps, func(i, j int) bool { return vps[i] < vps[j] })
+	for _, vp := range vps {
+		pi := pr.pages[vp]
+		switch {
+		case pi.Code:
+			// Text frames are owned by the text cache (textRef).
+		case pi.Shared:
+			// Shared data frames are freed by the last unmapper.
+			k.sharedRef[pi.Frame]--
+			if k.sharedRef[pi.Frame] <= 0 {
+				delete(k.sharedRef, pi.Frame)
+				k.FreeFrame(p, pi.Frame)
+			}
+		default:
+			k.FreeFrame(p, pi.Frame)
+		}
+		delete(pr.pages, vp)
+	}
+	if pr.image != nil {
+		k.textRef[pr.image.ID]--
+		if k.textRef[pr.image.ID] == 0 {
+			for _, fr := range k.textCache[pr.image.ID] {
+				if fr != 0 && k.F.State(fr) == kmem.StateUsed {
+					k.F.CacheFrame(fr)
+					k.TextCacheEvents++
+				}
+			}
+		}
+	}
+	p.TLBInvalidatePID(pr.PID)
+	k.touchProcEntry(p, pr, 128, true)
+	pr.State = StateZombie
+	if pr.Parent != nil {
+		pr.Parent.LiveChildren--
+		k.Wakeup(p, pr.Parent.ChildExitChan)
+	}
+	k.Exits++
+	// Auto-reap: free the slot.
+	pr.State = StateFree
+	k.procs[pr.Slot] = nil
+	return SysExited
+}
+
+func (k *Kernel) doWait(p Port, pr *Proc) SysStatus {
+	k.syscallEnter(p, pr, 8)
+	p.Exec(k.T.R("sys_wait"))
+	if pr.LiveChildren == 0 {
+		k.syscallExit(p, pr)
+		return SysDone
+	}
+	k.SleepProc(p, pr, pr.ChildExitChan, OpOtherSyscall, func(p Port, pr *Proc) SysStatus {
+		k.syscallExit(p, pr)
+		return SysDone
+	})
+	return SysBlocked
+}
+
+// ---- scheduling-related calls ----
+
+func (k *Kernel) doSginap(p Port, pr *Proc) SysStatus {
+	k.syscallEnter(p, pr, 0)
+	p.Exec(k.T.R("sys_sginap"))
+	k.touchProcEntry(p, pr, 32, true)
+	k.syscallExit(p, pr)
+	return SysYield
+}
+
+func (k *Kernel) doNap(p Port, pr *Proc, req SyscallReq) SysStatus {
+	k.syscallEnter(p, pr, 8)
+	p.Exec(k.T.R("sys_small"))
+	p.Exec(k.T.R("timeout"))
+	ca := k.Locks.Get(klock.Calock)
+	p.Acquire(ca)
+	p.Store(k.L.Callout.Base+arch.PAddr(16*(int(pr.PID)%64)), 16)
+	p.Release(ca)
+	ch := k.NewChan()
+	k.addTimer(p.Now()+req.Dur, ch)
+	k.SleepProc(p, pr, ch, OpOtherSyscall, func(p Port, pr *Proc) SysStatus {
+		k.syscallExit(p, pr)
+		return SysDone
+	})
+	return SysBlocked
+}
+
+// ---- pipes (terminal streams) ----
+
+func (k *Kernel) doPipeRead(p Port, pr *Proc, req SyscallReq) SysStatus {
+	k.syscallEnter(p, pr, 8)
+	p.Exec(k.T.R("str_read"))
+	p.Exec(k.T.R("pipe_rw"))
+	pipe := req.Pipe
+	str := k.Locks.Elem(klock.StreamsX, pipe.ID)
+	p.Acquire(str)
+	if pipe.Buffered == 0 {
+		p.Release(str)
+		k.SleepProc(p, pr, pipe.readCh, OpOtherSyscall, func(p Port, pr *Proc) SysStatus {
+			return k.finishPipeRead(p, pr, req)
+		})
+		return SysBlocked
+	}
+	st := k.finishPipeReadLocked(p, pr, req)
+	p.Release(str)
+	return st
+}
+
+func (k *Kernel) finishPipeRead(p Port, pr *Proc, req SyscallReq) SysStatus {
+	p.Exec(k.T.R("pipe_rw"))
+	str := k.Locks.Elem(klock.StreamsX, req.Pipe.ID)
+	p.Acquire(str)
+	st := k.finishPipeReadLocked(p, pr, req)
+	p.Release(str)
+	return st
+}
+
+func (k *Kernel) finishPipeReadLocked(p Port, pr *Proc, req SyscallReq) SysStatus {
+	pipe := req.Pipe
+	n := req.Bytes
+	if n <= 0 || n > pipe.Buffered {
+		n = pipe.Buffered
+	}
+	if n > 0 {
+		src := k.pipeBufAddr(pipe)
+		if ua, ok := k.userFrame(pr); ok {
+			k.Bcopy(p, src, ua, n, "pipe data")
+		} else {
+			p.Load(src, n)
+		}
+		pipe.Buffered -= n
+	}
+	k.syscallExit(p, pr)
+	return SysDone
+}
+
+func (k *Kernel) doPipeWrite(p Port, pr *Proc, req SyscallReq) SysStatus {
+	k.syscallEnter(p, pr, 8)
+	p.Exec(k.T.R("str_write"))
+	p.Exec(k.T.R("pipe_rw"))
+	p.Exec(k.T.R("tty_ld"))
+	pipe := req.Pipe
+	str := k.Locks.Elem(klock.StreamsX, pipe.ID)
+	p.Acquire(str)
+	n := req.Bytes
+	if n <= 0 {
+		n = 1
+	}
+	if ua, ok := k.userFrame(pr); ok {
+		k.Bcopy(p, ua, k.pipeBufAddr(pipe), n, "pipe data")
+	} else {
+		p.Store(k.pipeBufAddr(pipe), n)
+	}
+	pipe.Buffered += n
+	k.Wakeup(p, pipe.readCh)
+	p.Release(str)
+	k.syscallExit(p, pr)
+	return SysDone
+}
+
+// pipeBufAddr places each pipe's staging buffer in the kernel heap's
+// scratch area (past the page-table pages).
+func (k *Kernel) pipeBufAddr(pipe *Pipe) arch.PAddr {
+	return k.L.HeapScratch((pipe.ID%32)*1024 + 32*1024)
+}
+
+// ---- misc ----
+
+func (k *Kernel) doBrk(p Port, pr *Proc, req SyscallReq) SysStatus {
+	k.syscallEnter(p, pr, 8)
+	p.Exec(k.T.R("sys_brk"))
+	pages := req.Bytes / arch.PageSize
+	if pages < 1 {
+		pages = 1
+	}
+	next := uint32(DataVBase + len(pr.FP.DataVPages))
+	for i := 0; i < pages; i++ {
+		pr.FP.DataVPages = append(pr.FP.DataVPages, next+uint32(i))
+	}
+	// The reference generator caches the combined page list; the new
+	// pages must become visible to it.
+	pr.FP.AllData = nil
+	k.touchURest(p, pr, 32, true)
+	k.syscallExit(p, pr)
+	return SysDone
+}
+
+func (k *Kernel) doSmall(p Port, pr *Proc) SysStatus {
+	k.syscallEnter(p, pr, 0)
+	p.Exec(k.T.R("sys_small"))
+	k.touchURest(p, pr, 16, false)
+	k.syscallExit(p, pr)
+	return SysDone
+}
+
+// doSemop operates on a System V semaphore: the Semlock array protects the
+// user-visible semaphores (Table 11) — the database's inter-process
+// coordination runs through here.
+func (k *Kernel) doSemop(p Port, pr *Proc, req SyscallReq) SysStatus {
+	k.syscallEnter(p, pr, 16)
+	p.Exec(k.T.R("sys_small"))
+	// A TP1 transaction locks several rows in one semop call (teller,
+	// branch, account, history): one Semlock operation per sembuf.
+	for i := 0; i < 4; i++ {
+		sem := k.Locks.Elem(klock.Semlock, req.Sem+i)
+		p.Acquire(sem)
+		p.Load(k.L.HeapScratch(64*1024+((req.Sem+i)%32)*64), 32)
+		p.Store(k.L.HeapScratch(64*1024+((req.Sem+i)%32)*64), 16)
+		p.Release(sem)
+	}
+	k.syscallExit(p, pr)
+	return SysDone
+}
+
+// doMisc executes one of the cold filler routines: the long tail of kernel
+// code (ioctl paths, signal delivery, accounting, ...).
+func (k *Kernel) doMisc(p Port, pr *Proc) SysStatus {
+	k.syscallEnter(p, pr, 16)
+	f := k.T.Fillers[k.Rand.Intn(len(k.T.Fillers))]
+	p.Exec(f)
+	p.Exec(k.T.R("proc_misc"))
+	k.touchURest(p, pr, 64, true)
+	k.syscallExit(p, pr)
+	return SysDone
+}

@@ -1,0 +1,371 @@
+package kernel
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/kmem"
+)
+
+// Routine is one kernel subroutine: a contiguous extent of kernel text.
+// Executing it fetches its instruction blocks in order (OS code is mostly
+// loop-less, Section 4.2.1), so its physical placement determines which
+// I-cache sets it occupies and therefore which other routines it conflicts
+// with — the source of the paper's Dispos self-interference misses.
+type Routine struct {
+	ID    int
+	Name  string
+	Addr  arch.PAddr
+	Size  uint32
+	Group string // Table 5 operation group, "" if none
+}
+
+// Blocks returns the number of I-cache blocks the routine spans.
+func (r *Routine) Blocks() int { return int(r.Size+arch.BlockSize-1) / arch.BlockSize }
+
+// Instructions returns the instruction count of one execution.
+func (r *Routine) Instructions() int { return int(r.Size) / arch.InstrBytes }
+
+// Table 5 operation groups.
+const (
+	GroupRunQueue = "Management of the Run Queue"
+	GroupLowLevel = "Low-Level Exception Handling"
+	GroupRWSetup  = "Recognition and Setup of Read and Write System Calls"
+)
+
+// routineSpec declares one routine of the kernel image.
+type routineSpec struct {
+	name  string
+	size  uint32
+	group string
+}
+
+// kernelImage is the kernel text inventory. Placement is sequential in
+// declaration order; the I-cache is 64 KB, so code 64 KB apart conflicts.
+// The hot paths are placed in the first bank; the large file-system and
+// driver code ("some I/O drivers have a size comparable to the instruction
+// cache", Section 4.2.3) spans later banks and therefore conflicts with
+// them, reproducing the concentrated self-interference of Figure 5.
+var kernelImage = []routineSpec{
+	// ---- bank 0 (first 64 KB): hot paths ----
+	// Low-level exception handling (assembly, Table 5).
+	{"exc_vec", 256, GroupLowLevel},
+	{"exc_save", 512, GroupLowLevel},
+	{"exc_restore", 512, GroupLowLevel},
+	{"utlbmiss", 192, GroupLowLevel},
+	// Lock primitives (executed 3-5x more often than anything else).
+	{"lock_acquire", 128, ""},
+	{"lock_release", 96, ""},
+	// The seven core run-queue routines (Table 5).
+	{"swtch", 1536, GroupRunQueue},
+	{"save_ctx", 512, GroupRunQueue},
+	{"restore_ctx", 512, GroupRunQueue},
+	{"setrq", 384, GroupRunQueue},
+	{"remrq", 384, GroupRunQueue},
+	{"whichq", 256, GroupRunQueue},
+	{"schedcpu", 1024, GroupRunQueue},
+	// System call recognition and setup (Table 5 includes the read/
+	// write recognition path).
+	{"syscall_entry", 1024, GroupRWSetup},
+	{"syscall_exit", 768, ""},
+	{"copyin", 448, ""},
+	{"copyout", 448, ""},
+	// TLB fault handling.
+	{"tlb_refill", 640, ""},
+	{"pt_lookup", 512, ""},
+	{"pagein", 2048, ""},
+	{"pgalloc", 1024, ""},
+	{"pgfree", 768, ""},
+	{kmem.RoutineVhand, 1536, ""},
+	// Block operations (tight loops over data; code is tiny).
+	{kmem.RoutineBcopy, 512, ""},
+	{kmem.RoutineBclear, 384, ""},
+	// Read/write top halves (Table 5 read/write setup).
+	{"sys_read", 1280, GroupRWSetup},
+	{"sys_write", 1280, GroupRWSetup},
+	{"rwuio", 1024, ""},
+	// Frequent small syscalls.
+	{"sys_sginap", 512, ""},
+	{"sleep", 640, ""},
+	{"wakeup", 512, ""},
+	{"sys_small", 256, ""}, // getpid/time/etc.
+	// Clock path.
+	{"clock_intr", 1024, ""},
+	{"hardclock", 768, ""},
+	{"softclock", 640, ""},
+	{"timeout", 512, ""},
+	// Idle loop (tiny, stays cached).
+	{"idle_loop", 64, ""},
+	// Pipe/stream fast path used by editors and database front-ends.
+	{"pipe_rw", 1024, ""},
+	// Pad bank 0 with moderately-warm process management code.
+	{"sys_fork", 2048, ""},
+	{"newproc", 1536, ""},
+	{"sys_exit", 1280, ""},
+	{"sys_wait", 768, ""},
+	{"sys_brk", 768, ""},
+	{"proc_misc", 24576, ""}, // signal delivery, credentials, misc
+
+	// ---- bank 1+ : file system ----
+	{"sys_open", 1536, ""},
+	{"sys_close", 512, ""},
+	{"namei", 2560, ""},
+	{"iget", 896, ""},
+	{"iput", 640, ""},
+	{"getblk", 896, ""},
+	{"brelse", 512, ""},
+	{"bread", 640, ""},
+	{"bwrite", 640, ""},
+	{"fs_balloc", 1024, ""},
+	{"ufs_readwrite", 2048, ""},
+	{"sys_exec", 2560, ""},
+	{"load_image", 2048, ""},
+	{"fs_misc", 20480, ""}, // directory code, quota, mount, ...
+
+	// ---- disk driver: comparable in size to the I-cache ----
+	{"dksc_strategy", 4096, ""},
+	{"dksc_start", 4096, ""},
+	{"dksc_io", 12288, ""},
+	{"dksc_intr", 8192, ""},
+	{"scsi_misc", 16384, ""},
+
+	// ---- streams / tty (editors) ----
+	{"str_read", 2048, ""},
+	{"str_write", 2048, ""},
+	{"str_intr", 3072, ""},
+	{"tty_ld", 1536, ""},
+
+	// ---- network (runs on CPU 1 only, Section 2.2) ----
+	{"net_intr", 4096, ""},
+	{"ip_input", 3072, ""},
+	{"net_daemon", 4096, ""},
+}
+
+// numFillers cold routines of fillerSize bytes each pad the image out to
+// KernelTextSize; "other" system calls touch them at random, modeling the
+// long tail of rarely-executed kernel code.
+const (
+	fillerSize = 12 * 1024
+)
+
+// KText is the placed kernel text image.
+type KText struct {
+	Routines  []*Routine
+	byName    map[string]*Routine
+	Fillers   []*Routine // subset of Routines: the cold padding
+	TotalSize uint32
+}
+
+// NewKText places the kernel image with the shipped (conflict-prone)
+// layout, starting at the base of the kernel text region.
+func NewKText(base arch.PAddr) *KText { return newKText(base, false) }
+
+// NewKTextOptimized places the image with the Section 4.2.1 layout
+// optimization: the hot loop-less paths occupy exclusive I-cache offsets,
+// and the warm file-system/driver code is placed so its cache sets only
+// collide with cold filler — "purposely laying out the basic blocks in the
+// OS object code to avoid cache conflicts".
+func NewKTextOptimized(base arch.PAddr) *KText { return newKText(base, true) }
+
+// hotRoutines are the frequently-executed, latency-critical paths the
+// optimized layout protects (the bank-0 routines minus the bulky
+// process-management tail).
+var hotRoutines = map[string]bool{
+	"exc_vec": true, "exc_save": true, "exc_restore": true, "utlbmiss": true,
+	"lock_acquire": true, "lock_release": true,
+	"swtch": true, "save_ctx": true, "restore_ctx": true, "setrq": true,
+	"remrq": true, "whichq": true, "schedcpu": true,
+	"syscall_entry": true, "syscall_exit": true, "copyin": true, "copyout": true,
+	"tlb_refill": true, "pt_lookup": true, "pagein": true, "pgalloc": true,
+	"pgfree": true, kmem.RoutineVhand: true, kmem.RoutineBcopy: true,
+	kmem.RoutineBclear: true,
+	"sys_read":         true, "sys_write": true, "rwuio": true,
+	"sys_sginap": true, "sleep": true, "wakeup": true, "sys_small": true,
+	"clock_intr": true, "hardclock": true, "softclock": true, "timeout": true,
+	"idle_loop": true, "pipe_rw": true,
+}
+
+func newKText(base arch.PAddr, optimized bool) *KText {
+	t := &KText{byName: make(map[string]*Routine)}
+	end := base + kmem.KernelTextSize
+	next := base
+	alignBlock := func(a arch.PAddr) arch.PAddr {
+		if a%arch.BlockSize != 0 {
+			a = (a + arch.BlockSize - 1) &^ (arch.BlockSize - 1)
+		}
+		return a
+	}
+	add := func(name string, size uint32, group string, at arch.PAddr) *Routine {
+		r := &Routine{ID: len(t.Routines), Name: name, Addr: at, Size: size, Group: group}
+		t.Routines = append(t.Routines, r)
+		t.byName[name] = r
+		return r
+	}
+	if !optimized {
+		for _, s := range kernelImage {
+			add(s.name, s.size, s.group, next)
+			next = alignBlock(next + arch.PAddr(s.size))
+		}
+	} else {
+		// Pass 1: hot routines, packed from offset 0. Their extent H
+		// defines the protected I-cache offsets [0, H).
+		for _, s := range kernelImage {
+			if hotRoutines[s.name] {
+				add(s.name, s.size, s.group, next)
+				next = alignBlock(next + arch.PAddr(s.size))
+			}
+		}
+		hotEnd := uint32(next - base) // protected offset extent
+		// Pass 2: warm code at offsets ≥ hotEnd in later banks, so its
+		// sets never collide with the hot paths.
+		place := alignBlock(base + arch.ICacheSize + arch.PAddr(hotEnd))
+		for _, s := range kernelImage {
+			if hotRoutines[s.name] {
+				continue
+			}
+			// Does [place, place+size) stay within this bank's
+			// allowed window (offset ∈ [hotEnd, 64K))?
+			off := uint32(place-base) % arch.ICacheSize
+			if off < hotEnd || off+s.size > arch.ICacheSize {
+				// Skip to the allowed window of the next bank. A
+				// routine larger than the window itself cannot
+				// avoid the protected offsets entirely; starting
+				// it at the window base minimizes the overlap
+				// (only its tail wraps onto hot sets), and the
+				// next iteration's offset check recovers.
+				bank := (uint32(place-base)/arch.ICacheSize + 1)
+				place = alignBlock(base + arch.PAddr(bank*arch.ICacheSize+hotEnd))
+			}
+			add(s.name, s.size, s.group, place)
+			place = alignBlock(place + arch.PAddr(s.size))
+		}
+		if place > next {
+			next = place
+		}
+	}
+	// Pad the unused extents with cold filler routines so the image
+	// still spans the full KernelTextSize. For the optimized layout
+	// this fills the low offsets of later banks — cold code where the
+	// hot sets used to be thrashed.
+	i := 0
+	if optimized {
+		// Fill gaps: walk from base and cover every unassigned
+		// stretch ≥ one block with filler.
+		var used []addrSpan
+		for _, r := range t.Routines {
+			used = append(used, addrSpan{r.Addr, alignBlock(r.Addr + arch.PAddr(r.Size))})
+		}
+		sortSpans(used)
+		cur := base
+		for _, u := range used {
+			for cur+fillerSize <= u.lo {
+				f := add(fmt.Sprintf("misc_%02d", i), fillerSize, "", cur)
+				t.Fillers = append(t.Fillers, f)
+				i++
+				cur += fillerSize
+			}
+			if u.lo > cur { // guards unsigned underflow if spans abut
+				if rem := uint32(u.lo - cur); rem >= arch.BlockSize {
+					f := add(fmt.Sprintf("misc_%02d", i), rem, "", cur)
+					t.Fillers = append(t.Fillers, f)
+					i++
+				}
+			}
+			if u.hi > cur {
+				cur = u.hi
+			}
+		}
+		if cur > end {
+			// next = end below would mask the overflow, and the
+			// tail-remainder subtraction would wrap; fail loudly.
+			panic("kernel: optimized text layout overflows KernelTextSize")
+		}
+		for cur+fillerSize <= end {
+			f := add(fmt.Sprintf("misc_%02d", i), fillerSize, "", cur)
+			t.Fillers = append(t.Fillers, f)
+			i++
+			cur += fillerSize
+		}
+		if rem := uint32(end - cur); rem >= arch.BlockSize {
+			f := add(fmt.Sprintf("misc_%02d", i), rem, "", cur)
+			t.Fillers = append(t.Fillers, f)
+		}
+		next = end
+	} else {
+		for next+fillerSize <= end {
+			f := add(fmt.Sprintf("misc_%02d", i), fillerSize, "", next)
+			t.Fillers = append(t.Fillers, f)
+			next = alignBlock(next + fillerSize)
+			i++
+		}
+		if rem := uint32(end - next); rem >= arch.BlockSize {
+			f := add(fmt.Sprintf("misc_%02d", i), rem, "", next)
+			t.Fillers = append(t.Fillers, f)
+			next = end
+		}
+	}
+	t.TotalSize = uint32(next - base)
+	if next > end {
+		panic("kernel: text inventory overflows KernelTextSize")
+	}
+	// Keep Routines sorted by address (At() binary-searches).
+	sortRoutines(t.Routines)
+	for idx, r := range t.Routines {
+		r.ID = idx
+		t.byName[r.Name] = r
+	}
+	return t
+}
+
+// addrSpan is a placed extent of text.
+type addrSpan struct{ lo, hi arch.PAddr }
+
+// sortSpans orders spans by start address (insertion sort: tiny n).
+func sortSpans(s []addrSpan) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j].lo < s[j-1].lo; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// sortRoutines orders routines by address.
+func sortRoutines(rs []*Routine) {
+	for i := 1; i < len(rs); i++ {
+		for j := i; j > 0 && rs[j].Addr < rs[j-1].Addr; j-- {
+			rs[j], rs[j-1] = rs[j-1], rs[j]
+		}
+	}
+}
+
+// R returns the named routine, panicking on unknown names (a programming
+// error caught by the op tests).
+func (t *KText) R(name string) *Routine {
+	r, ok := t.byName[name]
+	if !ok {
+		panic("kernel: unknown routine " + name)
+	}
+	return r
+}
+
+// ByID returns the routine with the given ID.
+func (t *KText) ByID(id int) *Routine { return t.Routines[id] }
+
+// At returns the routine containing a physical text address, or nil.
+func (t *KText) At(a arch.PAddr) *Routine {
+	// Routines are sorted by address; binary search.
+	lo, hi := 0, len(t.Routines)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		r := t.Routines[mid]
+		switch {
+		case a < r.Addr:
+			hi = mid
+		case a >= r.Addr+arch.PAddr(r.Size):
+			lo = mid + 1
+		default:
+			return r
+		}
+	}
+	return nil
+}

@@ -1,0 +1,52 @@
+package kernel
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+)
+
+func TestHotRoutinesAllExistInImage(t *testing.T) {
+	names := map[string]bool{}
+	for _, s := range kernelImage {
+		names[s.name] = true
+	}
+	for h := range hotRoutines {
+		if !names[h] {
+			t.Errorf("hotRoutines lists %q, which is not in kernelImage", h)
+		}
+	}
+}
+
+func TestOptimizedWarmRoutinesAvoidHotSets(t *testing.T) {
+	kt := NewKTextOptimized(0)
+	// Recompute the protected extent: hot routines pack from offset 0.
+	var hotEnd uint32
+	for _, r := range kt.Routines {
+		if hotRoutines[r.Name] {
+			if end := uint32(r.Addr) + r.Size; end > hotEnd {
+				hotEnd = end
+			}
+		}
+	}
+	if hotEnd == 0 || hotEnd >= arch.ICacheSize {
+		t.Fatalf("hot extent = %d, want within one bank", hotEnd)
+	}
+	window := arch.ICacheSize - hotEnd
+	for _, r := range kt.Routines {
+		if hotRoutines[r.Name] || r.Group == "" && len(r.Name) > 5 && r.Name[:5] == "misc_" {
+			continue // hot code or cold filler
+		}
+		off := uint32(r.Addr) % arch.ICacheSize
+		if r.Size <= window {
+			// Fits in a window: must lie entirely in [hotEnd, 64K).
+			if off < hotEnd || off+r.Size > arch.ICacheSize {
+				t.Errorf("warm routine %q at offset %d size %d overlaps hot sets [0,%d)",
+					r.Name, off, r.Size, hotEnd)
+			}
+		} else if off != hotEnd {
+			// Oversized: must start at the window base (minimal overlap).
+			t.Errorf("oversized routine %q starts at offset %d, want %d", r.Name, off, hotEnd)
+		}
+	}
+}

@@ -1,0 +1,192 @@
+package klock
+
+import (
+	"sort"
+
+	"repro/internal/arch"
+)
+
+// The most frequently acquired kernel locks (Table 11 of the paper).
+// Names ending in _x are arrays where each element protects one instance
+// of a structure.
+const (
+	Memlock   = "Memlock"   // physical memory allocation structures
+	Runqlk    = "Runqlk"    // scheduler's run queue
+	Ifree     = "Ifree"     // list of free inodes
+	Dfbmaplk  = "Dfbmaplk"  // table of free disk blocks
+	Bfreelock = "Bfreelock" // list of free buffer-cache buffers
+	Calock    = "Calock"    // callout table (alarms, timeouts)
+	ShrX      = "Shr_x"     // per-process page tables and related
+	StreamsX  = "Streams_x" // character-device stream management
+	InoX      = "Ino_x"     // per-inode operations
+	Semlock   = "Semlock"   // user-visible semaphore array
+)
+
+// LockFunction describes what each lock protects (Table 11), for the
+// report generator.
+var LockFunction = map[string]string{
+	Memlock:   "Data struct. that allocate/deallocate physical memory.",
+	Runqlk:    "Scheduler's run queue.",
+	Ifree:     "List of free inodes.",
+	Dfbmaplk:  "Table of free blocks on the disk.",
+	Bfreelock: "List of free buffers for the buffer cache.",
+	Calock:    "Table of outstanding actions like alarms or timeouts.",
+	ShrX:      "Per-process page tables and related structures.",
+	StreamsX:  "Management of a character-oriented device.",
+	InoX:      "Operations on a given inode, like read or write.",
+	Semlock:   "Array of semaphores for the programmer to use.",
+}
+
+// Registry holds every kernel lock: the named singletons and the _x
+// arrays. It aggregates statistics per lock family.
+type Registry struct {
+	singles  map[string]*Lock
+	families map[string][]*Lock
+	order    []string // family/name order for deterministic reports
+}
+
+// NewRegistry builds the kernel lock set: singletons plus arrays sized for
+// the kernel's tables (nproc Shr_x, nstreams Streams_x, ninode Ino_x,
+// nsem Semlock elements).
+func NewRegistry(nproc, nstreams, ninode, nsem int) *Registry {
+	r := &Registry{
+		singles:  make(map[string]*Lock),
+		families: make(map[string][]*Lock),
+	}
+	for _, n := range []string{Memlock, Runqlk, Ifree, Dfbmaplk, Bfreelock, Calock} {
+		r.singles[n] = NewLock(n)
+		r.order = append(r.order, n)
+	}
+	mkArray := func(name string, n int) {
+		arr := make([]*Lock, n)
+		for i := range arr {
+			arr[i] = NewLock(name)
+		}
+		r.families[name] = arr
+		r.order = append(r.order, name)
+	}
+	mkArray(ShrX, nproc)
+	mkArray(StreamsX, nstreams)
+	mkArray(InoX, ninode)
+	mkArray(Semlock, nsem)
+	return r
+}
+
+// Get returns a named singleton lock.
+func (r *Registry) Get(name string) *Lock {
+	l, ok := r.singles[name]
+	if !ok {
+		panic("klock: unknown lock " + name)
+	}
+	return l
+}
+
+// Elem returns element i of a lock array.
+func (r *Registry) Elem(family string, i int) *Lock {
+	arr, ok := r.families[family]
+	if !ok {
+		panic("klock: unknown lock family " + family)
+	}
+	return arr[i%len(arr)]
+}
+
+// FamilyStats aggregates the statistics of every element of a family (or
+// of a singleton) under one name.
+func (r *Registry) FamilyStats(name string) Stats {
+	if l, ok := r.singles[name]; ok {
+		return l.ComputeStats()
+	}
+	arr := r.families[name]
+	agg := Stats{Name: name}
+	var cycSum float64
+	var cachedOps, uncachedOps int64
+	var sameW float64
+	var waiterSum float64
+	var waiterN int64
+	for _, l := range arr {
+		s := l.ComputeStats()
+		agg.Acquires += s.Acquires
+		agg.Failed += s.Failed
+		agg.Attempts += s.Attempts
+		cycSum += s.CyclesBetweenAcq * float64(s.Acquires)
+		sameW += s.PctSameCPU * float64(s.Acquires)
+		cachedOps += s.CachedBusOps
+		uncachedOps += s.UncachedOps
+		if s.AvgWaitersIfAny > 0 {
+			waiterSum += s.AvgWaitersIfAny
+			waiterN++
+		}
+	}
+	if agg.Acquires > 0 {
+		agg.CyclesBetweenAcq = cycSum / float64(agg.Acquires)
+		agg.PctFailed = 100 * float64(agg.Failed) / float64(agg.Acquires)
+		agg.PctSameCPU = sameW / float64(agg.Acquires)
+	}
+	if waiterN > 0 {
+		agg.AvgWaitersIfAny = waiterSum / float64(waiterN)
+	}
+	agg.CachedBusOps = cachedOps
+	agg.UncachedOps = uncachedOps
+	if uncachedOps > 0 {
+		agg.PctCachedVsUncached = 100 * float64(cachedOps) / float64(uncachedOps)
+	}
+	return agg
+}
+
+// AllStats returns statistics for every family, most-acquired first.
+func (r *Registry) AllStats() []Stats {
+	out := make([]Stats, 0, len(r.order))
+	for _, n := range r.order {
+		out = append(out, r.FamilyStats(n))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Acquires > out[j].Acquires })
+	return out
+}
+
+// TotalSyncStall sums the Table 10 stall estimates over every kernel lock:
+// the current sync-bus protocol and the simulated cacheable atomic-RMW
+// machine.
+func (r *Registry) TotalSyncStall() (current, rmwCached arch.Cycles) {
+	add := func(l *Lock) {
+		c, m := l.SyncCost()
+		current += c
+		rmwCached += m
+	}
+	for _, l := range r.singles {
+		add(l)
+	}
+	for _, arr := range r.families {
+		for _, l := range arr {
+			add(l)
+		}
+	}
+	return current, rmwCached
+}
+
+// ResetStats clears the statistics of every kernel lock (the measurement
+// snapshot at trace start).
+func (r *Registry) ResetStats() {
+	for _, l := range r.singles {
+		l.ResetStats()
+	}
+	for _, arr := range r.families {
+		for _, l := range arr {
+			l.ResetStats()
+		}
+	}
+}
+
+// TotalAcquires returns the number of successful acquires across all
+// kernel locks.
+func (r *Registry) TotalAcquires() int64 {
+	var n int64
+	for _, l := range r.singles {
+		n += l.acquires
+	}
+	for _, arr := range r.families {
+		for _, l := range arr {
+			n += l.acquires
+		}
+	}
+	return n
+}

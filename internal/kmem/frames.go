@@ -1,0 +1,243 @@
+package kmem
+
+import "repro/internal/arch"
+
+// FrameKind says what a physical frame is used for. Code frames matter
+// because reallocating one requires invalidating the instruction caches
+// (the source of Inval misses).
+type FrameKind uint8
+
+const (
+	// FrameData holds user or kernel data.
+	FrameData FrameKind = iota
+	// FrameCode holds executable text.
+	FrameCode
+	// FrameBuf holds file-system buffer data.
+	FrameBuf
+)
+
+// FrameState is the allocator's view of a frame.
+type FrameState uint8
+
+const (
+	// StateFree means the frame is on a free-page bucket.
+	StateFree FrameState = iota
+	// StateUsed means the frame is allocated.
+	StateUsed
+	// StateCached means the frame's previous contents are being kept
+	// (e.g. program text of an exited process); it is reclaimable by
+	// the pfdat traversal only.
+	StateCached
+)
+
+type frameInfo struct {
+	state   FrameState
+	kind    FrameKind
+	wasCode bool
+	pid     arch.PID
+	vpage   uint32
+}
+
+// Frames is the physical frame allocator over the pageable frames
+// [ReservedFrames, MemFrames). Free frames hang off hash buckets (the
+// FreePgBuck structure); frames in the cached state are only recovered by
+// a pfdat traversal, which is how memory pressure produces the paper's
+// third block operation.
+type Frames struct {
+	info      []frameInfo
+	buckets   [][]uint32
+	freeCount int
+	cached    []uint32 // FIFO of reclaimable frames
+	rr        int      // round-robin bucket scan position
+	avoided   int      // code-frame avoidances since the last forced reuse
+}
+
+// codeAvoidBudget bounds how long code-frame reuse can be deferred.
+const codeAvoidBudget = 16
+
+// NewFrames returns an allocator with every pageable frame free.
+func NewFrames() *Frames {
+	f := &Frames{
+		info:    make([]frameInfo, PageableFrames),
+		buckets: make([][]uint32, NumBuckets),
+	}
+	for i := 0; i < PageableFrames; i++ {
+		fr := FirstUserFrame + uint32(i)
+		b := bucketOf(fr)
+		f.buckets[b] = append(f.buckets[b], fr)
+	}
+	f.freeCount = PageableFrames
+	return f
+}
+
+func bucketOf(frame uint32) int { return int(frame) % NumBuckets }
+
+// BucketOf returns the free-page bucket index a frame hashes to (the
+// kernel touches that bucket head when allocating or freeing).
+func BucketOf(frame uint32) int { return bucketOf(frame) }
+
+func (f *Frames) idx(frame uint32) int { return int(frame) - ReservedFrames }
+
+// FreeCount returns the number of immediately-allocatable frames.
+func (f *Frames) FreeCount() int { return f.freeCount }
+
+// CachedCount returns the number of reclaimable (cached) frames.
+func (f *Frames) CachedCount() int {
+	n := 0
+	seen := make(map[uint32]bool, len(f.cached))
+	for _, fr := range f.cached {
+		if !seen[fr] && f.info[f.idx(fr)].state == StateCached {
+			n++
+			seen[fr] = true
+		}
+	}
+	return n
+}
+
+// Alloc takes a frame from the free buckets. wasCode reports whether the
+// frame previously held code, in which case the caller must invalidate the
+// instruction caches before reuse. ok is false when no free frame exists
+// (the caller must run a pfdat traversal to reclaim cached frames first).
+func (f *Frames) Alloc(kind FrameKind, pid arch.PID, vpage uint32) (frame uint32, wasCode bool, ok bool) {
+	if f.freeCount == 0 {
+		return 0, false, false
+	}
+	// First pass: prefer frames that never held code (reusing a code
+	// frame forces a full I-cache flush). The deference is bounded: the
+	// real free list cycles, so a retired text page is reused once the
+	// allocator has worked past it — modeled by taking anything after
+	// enough avoidances.
+	first := 1
+	if f.avoided > codeAvoidBudget {
+		first = 0 // deliberately drain one retired code frame
+		f.avoided = 0
+	}
+	for pass := first; pass < 3; pass++ {
+		for i := 0; i < NumBuckets; i++ {
+			b := (f.rr + i) % NumBuckets
+			n := len(f.buckets[b])
+			if n == 0 {
+				continue
+			}
+			frame = f.buckets[b][n-1] // LIFO: recently freed reused soon
+			isCode := f.info[f.idx(frame)].wasCode
+			if pass == 0 && !isCode {
+				continue
+			}
+			if pass == 1 && isCode {
+				f.avoided++
+				continue
+			}
+			f.buckets[b] = f.buckets[b][:n-1]
+			f.rr = (b + 1) % NumBuckets
+			f.freeCount--
+			fi := &f.info[f.idx(frame)]
+			wasCode = fi.wasCode
+			*fi = frameInfo{state: StateUsed, kind: kind, pid: pid, vpage: vpage}
+			if kind == FrameCode {
+				fi.wasCode = true
+			}
+			return frame, wasCode, true
+		}
+	}
+	return 0, false, false
+}
+
+// Free returns a frame to its free bucket. Frames that held code go to
+// the cold end of the bucket so they are reallocated last — reusing one
+// forces a full I-cache flush, so the kernel defers it as long as it can.
+func (f *Frames) Free(frame uint32) {
+	fi := &f.info[f.idx(frame)]
+	if fi.state == StateFree {
+		panic("kmem: double free")
+	}
+	wasCode := fi.wasCode || fi.kind == FrameCode
+	*fi = frameInfo{state: StateFree, wasCode: wasCode}
+	f.push(frame, wasCode)
+	f.freeCount++
+}
+
+// push adds a free frame to its bucket.
+func (f *Frames) push(frame uint32, wasCode bool) {
+	_ = wasCode // reuse deferral happens at Alloc time
+	b := bucketOf(frame)
+	f.buckets[b] = append(f.buckets[b], frame)
+}
+
+// CacheFrame keeps an allocated frame's contents around (exited process
+// text, file pages) instead of freeing it; only Reclaim recovers it.
+func (f *Frames) CacheFrame(frame uint32) {
+	fi := &f.info[f.idx(frame)]
+	if fi.state != StateUsed {
+		panic("kmem: caching non-allocated frame")
+	}
+	fi.state = StateCached
+	f.cached = append(f.cached, frame)
+}
+
+// Reactivate returns a cached frame to active use (a process mapping text
+// pages still resident in the text cache). The stale entry in the cached
+// queue is skipped by Reclaim.
+func (f *Frames) Reactivate(frame uint32) {
+	fi := &f.info[f.idx(frame)]
+	if fi.state != StateCached {
+		panic("kmem: reactivating a frame that is not cached")
+	}
+	fi.state = StateUsed
+}
+
+// Reclaim frees up to n cached frames (oldest first), returning the frames
+// reclaimed. The kernel calls this from the pfdat-traversal block
+// operation when free memory runs low. Entries whose frame was reactivated
+// in the meantime are skipped.
+func (f *Frames) Reclaim(n int) []uint32 {
+	out := make([]uint32, 0, n)
+	i := 0
+	for ; i < len(f.cached) && len(out) < n; i++ {
+		fr := f.cached[i]
+		fi := &f.info[f.idx(fr)]
+		if fi.state != StateCached {
+			continue // reactivated (or re-cached later in the queue)
+		}
+		wasCode := fi.wasCode || fi.kind == FrameCode
+		*fi = frameInfo{state: StateFree, wasCode: wasCode}
+		f.push(fr, wasCode)
+		f.freeCount++
+		out = append(out, fr)
+	}
+	f.cached = f.cached[i:]
+	return out
+}
+
+// State returns the allocator state of a frame (for tests).
+func (f *Frames) State(frame uint32) FrameState { return f.info[f.idx(frame)].state }
+
+// Owner returns the pid and virtual page a used frame backs.
+func (f *Frames) Owner(frame uint32) (arch.PID, uint32) {
+	fi := &f.info[f.idx(frame)]
+	return fi.pid, fi.vpage
+}
+
+// Avoided reports the current code-avoidance counter (diagnostics).
+func (f *Frames) Avoided() int { return f.avoided }
+
+// DebugCounts reports how many free and cached frames previously held
+// code (diagnostics).
+func (f *Frames) DebugCounts() (freeCode, cachedCode, free, cached int) {
+	for i := range f.info {
+		fi := &f.info[i]
+		switch fi.state {
+		case StateFree:
+			free++
+			if fi.wasCode {
+				freeCode++
+			}
+		case StateCached:
+			cached++
+			if fi.wasCode || fi.kind == FrameCode {
+				cachedCode++
+			}
+		}
+	}
+	return
+}

@@ -1,0 +1,278 @@
+package kmem
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/arch"
+)
+
+func TestTable3ExactSizes(t *testing.T) {
+	// The paper's Table 3 sizes must be reproduced exactly.
+	want := map[string]int{
+		AttrKernelStack: 4096,
+		AttrPCB:         240,
+		AttrEframe:      172,
+		AttrRestUser:    3684,
+		AttrProcTable:   46080,
+		AttrPfdat:       210944,
+		AttrBuffer:      17408,
+		AttrInode:       68608,
+		AttrRunQueue:    24,
+		AttrFreePgBuck:  3072,
+	}
+	got := Table3Sizes()
+	for name, w := range want {
+		if got[name] != w {
+			t.Errorf("%s size = %d, want %d", name, got[name], w)
+		}
+	}
+	if UStructSize != arch.PageSize {
+		t.Errorf("user structure = %d bytes, want exactly one page", UStructSize)
+	}
+	if PageableFrames != 6592 {
+		t.Errorf("PageableFrames = %d, want 6592", PageableFrames)
+	}
+}
+
+func TestLayoutIsDisjointAndOrdered(t *testing.T) {
+	l := NewLayout()
+	regions := []Region{
+		l.KernelText, l.ProcTable, l.RunQueue, l.HiNdproc, l.FreePgBuck,
+		l.Dfbmap, l.Callout, l.InodeTable, l.BufHeaders, l.Pfdat,
+		l.KernelHeap, l.BufData, l.UPages,
+	}
+	for i := 1; i < len(regions); i++ {
+		if regions[i].Base < regions[i-1].End() {
+			t.Errorf("region %q (%#x) overlaps %q (ends %#x)",
+				regions[i].Name, regions[i].Base,
+				regions[i-1].Name, regions[i-1].End())
+		}
+	}
+	if l.KernelEnd > arch.PAddr(ReservedFrames)*arch.PageSize {
+		t.Errorf("kernel image %#x exceeds reserved area %#x",
+			l.KernelEnd, ReservedFrames*arch.PageSize)
+	}
+	if l.KernelText.Base != 0 {
+		t.Error("kernel text must start at physical 0")
+	}
+}
+
+func TestLayoutAccessors(t *testing.T) {
+	l := NewLayout()
+	if a := l.UStructAddr(0); a != l.UPages.Base {
+		t.Errorf("UStructAddr(0) = %#x", a)
+	}
+	if a := l.KStackAddr(0); a != l.UPages.Base+UStructSize {
+		t.Errorf("KStackAddr(0) = %#x", a)
+	}
+	if a := l.UStructAddr(1) - l.UStructAddr(0); a != UStructSize+KStackSize {
+		t.Errorf("u-page stride = %d", a)
+	}
+	if a := l.ProcEntryAddr(2) - l.ProcEntryAddr(1); a != ProcEntrySize {
+		t.Errorf("proc entry stride = %d", a)
+	}
+	if a := l.PfdatAddrOfFrame(FirstUserFrame); a != l.Pfdat.Base {
+		t.Errorf("PfdatAddrOfFrame(first) = %#x, want %#x", a, l.Pfdat.Base)
+	}
+	if a := l.BucketAddr(1) - l.BucketAddr(0); a != 8 {
+		t.Errorf("bucket stride = %d", a)
+	}
+	if a := l.InodeAddr(1) - l.InodeAddr(0); a != InodeSize {
+		t.Errorf("inode stride = %d", a)
+	}
+	if a := l.BufDataAddr(1) - l.BufDataAddr(0); a != arch.PageSize {
+		t.Errorf("buffer data stride = %d", a)
+	}
+}
+
+func TestAttribute(t *testing.T) {
+	l := NewLayout()
+	cases := []struct {
+		addr    arch.PAddr
+		routine string
+		want    string
+	}{
+		{l.KernelText.Base + 100, "", AttrKernelText},
+		{l.ProcTable.Base, "", AttrProcTable},
+		{l.RunQueue.Base + 8, "", AttrRunQueue},
+		{l.HiNdproc.Base, "", AttrHiNdproc},
+		{l.FreePgBuck.Base + 64, "", AttrFreePgBuck},
+		{l.InodeTable.Base + 1000, "", AttrInode},
+		{l.BufHeaders.Base + 200, "", AttrBuffer},
+		{l.Pfdat.Base + 32, "", AttrPfdat},
+		{l.UStructAddr(3) + 10, "", AttrPCB},
+		{l.UStructAddr(3) + PCBSize + 10, "", AttrEframe},
+		{l.UStructAddr(3) + PCBSize + EframeSize + 10, "", AttrRestUser},
+		{l.KStackAddr(3) + 100, "", AttrKernelStack},
+		// Dynamically-placed memory depends on the active routine.
+		{arch.FrameAddr(FirstUserFrame) + 64, "bcopy", AttrBcopy},
+		{arch.FrameAddr(FirstUserFrame) + 64, "bclear", AttrBclear},
+		{arch.FrameAddr(FirstUserFrame) + 64, "sys_read", AttrOther},
+		{l.BufData.Base, "bcopy", AttrBcopy},
+		{l.KernelHeap.Base, "", AttrOther},
+	}
+	for _, c := range cases {
+		if got := l.Attribute(c.addr, c.routine); got != c.want {
+			t.Errorf("Attribute(%#x, %q) = %q, want %q", c.addr, c.routine, got, c.want)
+		}
+	}
+}
+
+func TestFramesAllocFree(t *testing.T) {
+	f := NewFrames()
+	if f.FreeCount() != PageableFrames {
+		t.Fatalf("FreeCount = %d, want %d", f.FreeCount(), PageableFrames)
+	}
+	fr, wasCode, ok := f.Alloc(FrameData, 7, 42)
+	if !ok || wasCode {
+		t.Fatalf("Alloc = (%d,%v,%v)", fr, wasCode, ok)
+	}
+	if fr < FirstUserFrame || fr >= arch.MemFrames {
+		t.Fatalf("frame %d out of pageable range", fr)
+	}
+	if f.State(fr) != StateUsed {
+		t.Error("allocated frame not marked used")
+	}
+	if pid, vp := f.Owner(fr); pid != 7 || vp != 42 {
+		t.Errorf("Owner = (%d,%d)", pid, vp)
+	}
+	f.Free(fr)
+	if f.State(fr) != StateFree || f.FreeCount() != PageableFrames {
+		t.Error("free did not restore state")
+	}
+}
+
+func TestCodeFrameReuseSignalsInvalidation(t *testing.T) {
+	f := NewFrames()
+	fr, _, _ := f.Alloc(FrameCode, 1, 0)
+	f.Free(fr)
+	// LIFO bucket reuse: allocating again from the same bucket should
+	// hand back the same frame with wasCode set.
+	var got uint32
+	var wasCode, ok bool
+	for i := 0; i < PageableFrames; i++ {
+		got, wasCode, ok = f.Alloc(FrameData, 2, 0)
+		if !ok {
+			t.Fatal("ran out of frames")
+		}
+		if got == fr {
+			break
+		}
+	}
+	if got != fr {
+		t.Fatal("never got the code frame back")
+	}
+	if !wasCode {
+		t.Error("reused code frame did not request I-cache invalidation")
+	}
+	// After the data use, freeing and reusing it still reports wasCode
+	// (the invalidation already happened, but the flag persists until
+	// cleared by reuse; reallocating as data clears it).
+	f.Free(got)
+}
+
+func TestExhaustionAndReclaim(t *testing.T) {
+	f := NewFrames()
+	var frames []uint32
+	for {
+		fr, _, ok := f.Alloc(FrameData, 1, 0)
+		if !ok {
+			break
+		}
+		frames = append(frames, fr)
+	}
+	if len(frames) != PageableFrames {
+		t.Fatalf("allocated %d frames, want %d", len(frames), PageableFrames)
+	}
+	// Cache 10 frames (exited-process pages kept around).
+	for _, fr := range frames[:10] {
+		f.CacheFrame(fr)
+	}
+	if f.FreeCount() != 0 || f.CachedCount() != 10 {
+		t.Fatalf("free=%d cached=%d", f.FreeCount(), f.CachedCount())
+	}
+	if _, _, ok := f.Alloc(FrameData, 1, 0); ok {
+		t.Fatal("Alloc should fail with only cached frames")
+	}
+	rec := f.Reclaim(4)
+	if len(rec) != 4 || f.FreeCount() != 4 || f.CachedCount() != 6 {
+		t.Fatalf("after reclaim: rec=%d free=%d cached=%d",
+			len(rec), f.FreeCount(), f.CachedCount())
+	}
+	if _, _, ok := f.Alloc(FrameData, 1, 0); !ok {
+		t.Error("Alloc should succeed after reclaim")
+	}
+	// Reclaim more than available.
+	if got := f.Reclaim(100); len(got) != 6 {
+		t.Errorf("over-reclaim returned %d, want 6", len(got))
+	}
+}
+
+func TestDoubleFreePanics(t *testing.T) {
+	f := NewFrames()
+	fr, _, _ := f.Alloc(FrameData, 1, 0)
+	f.Free(fr)
+	defer func() {
+		if recover() == nil {
+			t.Error("double free did not panic")
+		}
+	}()
+	f.Free(fr)
+}
+
+func TestBucketDistribution(t *testing.T) {
+	f := NewFrames()
+	// Allocate everything; every allocation must come from some bucket
+	// and the bucket hash must match.
+	counts := make(map[int]int)
+	for {
+		fr, _, ok := f.Alloc(FrameData, 1, 0)
+		if !ok {
+			break
+		}
+		counts[BucketOf(fr)]++
+	}
+	if len(counts) != NumBuckets {
+		t.Errorf("allocations touched %d buckets, want %d", len(counts), NumBuckets)
+	}
+}
+
+// TestQuickAttributeConsistency: for any process slot and offset, the
+// address computed by the layout helpers attributes back to the structure
+// the helper names — the symbol-table property the Figure 8 attribution
+// relies on.
+func TestQuickAttributeConsistency(t *testing.T) {
+	l := NewLayout()
+	f := func(slot uint8, off uint16) bool {
+		s := int(slot) % NumProcs
+		if l.Attribute(l.KStackAddr(s)+arch.PAddr(off%KStackSize), "") != AttrKernelStack {
+			return false
+		}
+		if l.Attribute(l.UStructAddr(s)+arch.PAddr(off%PCBSize), "") != AttrPCB {
+			return false
+		}
+		if l.Attribute(l.UStructAddr(s)+PCBSize+arch.PAddr(off%EframeSize), "") != AttrEframe {
+			return false
+		}
+		if l.Attribute(l.ProcEntryAddr(s)+arch.PAddr(off%ProcEntrySize), "") != AttrProcTable {
+			return false
+		}
+		i := int(off) % PageableFrames
+		if l.Attribute(l.PfdatAddr(i)+arch.PAddr(off%PfdatEntrySize), "") != AttrPfdat {
+			return false
+		}
+		// Dynamic memory attributes by executing routine.
+		h := l.HeapScratch(int(off))
+		if l.Attribute(h, RoutineBcopy) != AttrBcopy {
+			return false
+		}
+		if l.Attribute(h, "") != AttrOther {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

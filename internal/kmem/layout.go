@@ -1,0 +1,327 @@
+// Package kmem defines the physical memory map of the simulated machine —
+// the kernel text image, every kernel data structure of Table 3 at its
+// exact published size, the per-process user structures and kernel stacks,
+// and the pageable user frames — together with the physical frame allocator
+// (free-page buckets and pfdat array) the kernel uses.
+//
+// The layout doubles as the OS symbol table: the trace postprocessor
+// attributes data misses to structures by looking miss addresses up here,
+// exactly as the paper compares missed addresses "with the entries in the
+// symbol table of the OS image" (Section 2.2).
+package kmem
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+)
+
+// Structure sizes from Table 3 of the paper, and the decompositions that
+// make them exact.
+const (
+	// KernelTextSize is the size of the kernel code image (13 multiples
+	// of the 64 KB I-cache, matching the span of Figure 5's X-axis).
+	KernelTextSize = 13 * arch.ICacheSize // 832 KB
+
+	// NumProcs is the number of process-table slots.
+	NumProcs = 90
+	// ProcEntrySize is the size of one process-table entry.
+	ProcEntrySize = 512
+	// ProcTableSize is 46080 bytes (Table 3).
+	ProcTableSize = NumProcs * ProcEntrySize
+
+	// User structure decomposition (Table 3): one page per process.
+	PCBSize     = 240                              // register save area for context switches
+	EframeSize  = 172                              // register save area for exceptions
+	RestUSize   = 3684                             // file descriptors, system buffers, syscall state
+	UStructSize = PCBSize + EframeSize + RestUSize // = one page
+
+	// KStackSize is the per-process kernel stack (Table 3): one page,
+	// so each stack occupies exactly one frame.
+	KStackSize = arch.PageSize
+
+	// RunQueueSize is the structure at the head of the run queue.
+	RunQueueSize = 24
+
+	// HiNdprocSize is the priority-scheduling flag.
+	HiNdprocSize = 4
+
+	// FreePgBuckSize is the array of free-page hash buckets (Table 3).
+	FreePgBuckSize = 3072
+	// NumBuckets at 8 bytes per bucket head.
+	NumBuckets = FreePgBuckSize / 8
+
+	// DfbmapSize is the table of free disk blocks.
+	DfbmapSize = 8192
+
+	// CalloutSize is the table of outstanding actions (alarms,
+	// timeouts) protected by Calock.
+	CalloutSize = 4096
+
+	// Inode table: 536 × 128 = 68608 bytes (Table 3).
+	NumInodes      = 536
+	InodeSize      = 128
+	InodeTableSize = NumInodes * InodeSize
+
+	// Buffer-cache headers: 136 × 128 = 17408 bytes (Table 3).
+	NumBufs        = 136
+	BufHeaderSize  = 128
+	BufHeadersSize = NumBufs * BufHeaderSize
+
+	// BufDataSize is the buffer-cache data area (one page per buffer).
+	BufDataSize = NumBufs * arch.PageSize
+
+	// KernelHeapSize is the dynamic kernel allocation arena. The first
+	// NumProcs pages hold the per-process page tables; the rest is
+	// general allocation (pipe buffers, network mbufs, ...).
+	KernelHeapSize = (NumProcs + 38) * arch.PageSize // 512 KB
+
+	// Pfdat: one 32-byte descriptor per pageable frame. The kernel
+	// reserves ReservedFrames frames for itself, leaving PageableFrames
+	// user frames; 6592 × 32 = 210944 bytes, the exact Table 3 size.
+	PfdatEntrySize = 32
+	ReservedFrames = 1600
+	PageableFrames = arch.MemFrames - ReservedFrames // 6592
+	PfdatSize      = PageableFrames * PfdatEntrySize // 210944
+
+	// DevRegsBase is where uncached device registers live (even
+	// addresses, distinguishable from odd escape reads).
+	DevRegsBase arch.PAddr = 0x0068_0000
+)
+
+// The u-struct decomposition must fill exactly one page: its pieces are
+// addressed by fixed offsets within the process's u-page, and Attribute
+// decodes those offsets modulo (UStructSize + KStackSize). Both array
+// lengths are negative if the sizes drift, failing compilation.
+var (
+	_ [UStructSize - arch.PageSize]struct{}
+	_ [arch.PageSize - UStructSize]struct{}
+)
+
+// Region is a named extent of physical memory.
+type Region struct {
+	Name string
+	Base arch.PAddr
+	Size uint32
+}
+
+// Contains reports whether addr falls inside the region.
+func (r Region) Contains(a arch.PAddr) bool {
+	return a >= r.Base && a < r.Base+arch.PAddr(r.Size)
+}
+
+// End returns the first address past the region.
+func (r Region) End() arch.PAddr { return r.Base + arch.PAddr(r.Size) }
+
+// Canonical kernel routine names that other packages key on: the memory
+// attributor maps dynamically-placed misses to the Bcopy/Bclear classes by
+// the executing routine, and the trace package tallies block-operation
+// misses per routine. Defining them here (the lowest common import) keeps
+// the kernel image, the attributor and the classifier in sync.
+const (
+	RoutineBcopy  = "bcopy"
+	RoutineBclear = "bclear"
+	RoutineVhand  = "vhand"
+)
+
+// Attribution names used by Figure 8 and Table 3.
+const (
+	AttrKernelStack = "Kernel Stack"
+	AttrPCB         = "PCB"
+	AttrEframe      = "Eframe"
+	AttrRestUser    = "Rest of User Struct"
+	AttrProcTable   = "Process Table"
+	AttrBcopy       = "Bcopy"
+	AttrBclear      = "Bclear"
+	AttrPfdat       = "Pfdat"
+	AttrBuffer      = "Buffer"
+	AttrInode       = "Inode"
+	AttrRunQueue    = "Run Queue"
+	AttrFreePgBuck  = "FreePgBuck"
+	AttrHiNdproc    = "Hi_ndproc"
+	AttrKernelText  = "Kernel Text"
+	AttrOther       = "Other"
+)
+
+// Layout is the complete physical memory map.
+type Layout struct {
+	KernelText Region
+	ProcTable  Region
+	RunQueue   Region
+	HiNdproc   Region
+	FreePgBuck Region
+	Dfbmap     Region
+	Callout    Region
+	InodeTable Region
+	BufHeaders Region
+	Pfdat      Region
+	KernelHeap Region
+	BufData    Region
+	UPages     Region // NumProcs × (ustruct page + kstack page)
+
+	// KernelEnd is the first address past all kernel structures; it
+	// must stay below ReservedFrames×PageSize.
+	KernelEnd arch.PAddr
+}
+
+// NewLayout computes the memory map. It panics if the kernel image
+// overflows its reserved frames (a programming error, caught by tests).
+func NewLayout() *Layout {
+	l := &Layout{}
+	next := arch.PAddr(0)
+	place := func(name string, size uint32, alignPage bool) Region {
+		if alignPage && next%arch.PageSize != 0 {
+			next = (next + arch.PageSize - 1) &^ (arch.PageSize - 1)
+		} else if next%64 != 0 {
+			next = (next + 63) &^ 63
+		}
+		r := Region{Name: name, Base: next, Size: size}
+		next += arch.PAddr(size)
+		return r
+	}
+	l.KernelText = place(AttrKernelText, KernelTextSize, true)
+	l.ProcTable = place(AttrProcTable, ProcTableSize, false)
+	l.RunQueue = place(AttrRunQueue, RunQueueSize, false)
+	l.HiNdproc = place(AttrHiNdproc, HiNdprocSize, false)
+	l.FreePgBuck = place(AttrFreePgBuck, FreePgBuckSize, false)
+	l.Dfbmap = place("Dfbmap", DfbmapSize, false)
+	l.Callout = place("Callout", CalloutSize, false)
+	l.InodeTable = place(AttrInode, InodeTableSize, false)
+	l.BufHeaders = place(AttrBuffer, BufHeadersSize, false)
+	l.Pfdat = place(AttrPfdat, PfdatSize, false)
+	l.KernelHeap = place("Kernel Heap", KernelHeapSize, true)
+	l.BufData = place("Buffer Data", BufDataSize, true)
+	l.UPages = place("U Pages", NumProcs*(UStructSize+KStackSize), true)
+	l.KernelEnd = next
+	if l.KernelEnd > arch.PAddr(ReservedFrames)*arch.PageSize {
+		panic(fmt.Sprintf("kmem: kernel image %#x overflows reserved %#x",
+			l.KernelEnd, ReservedFrames*arch.PageSize))
+	}
+	return l
+}
+
+// UStructAddr returns the physical address of process slot s's user
+// structure (its PCB is at offset 0, eframe at PCBSize, rest at
+// PCBSize+EframeSize).
+func (l *Layout) UStructAddr(s int) arch.PAddr {
+	return l.UPages.Base + arch.PAddr(s*(UStructSize+KStackSize))
+}
+
+// KStackAddr returns the physical address of process slot s's kernel stack.
+func (l *Layout) KStackAddr(s int) arch.PAddr {
+	return l.UStructAddr(s) + UStructSize
+}
+
+// ProcEntryAddr returns the address of process-table entry s.
+func (l *Layout) ProcEntryAddr(s int) arch.PAddr {
+	return l.ProcTable.Base + arch.PAddr(s*ProcEntrySize)
+}
+
+// PfdatAddr returns the address of the page descriptor for pageable frame
+// index i (i.e. physical frame ReservedFrames+i).
+func (l *Layout) PfdatAddr(i int) arch.PAddr {
+	return l.Pfdat.Base + arch.PAddr(i*PfdatEntrySize)
+}
+
+// PfdatAddrOfFrame returns the descriptor address for a physical frame
+// number.
+func (l *Layout) PfdatAddrOfFrame(f uint32) arch.PAddr {
+	return l.PfdatAddr(int(f) - ReservedFrames)
+}
+
+// BucketAddr returns the address of free-page bucket i.
+func (l *Layout) BucketAddr(i int) arch.PAddr {
+	return l.FreePgBuck.Base + arch.PAddr(i*8)
+}
+
+// InodeAddr returns the address of in-core inode i.
+func (l *Layout) InodeAddr(i int) arch.PAddr {
+	return l.InodeTable.Base + arch.PAddr(i*InodeSize)
+}
+
+// BufHeaderAddr returns the address of buffer header i.
+func (l *Layout) BufHeaderAddr(i int) arch.PAddr {
+	return l.BufHeaders.Base + arch.PAddr(i*BufHeaderSize)
+}
+
+// BufDataAddr returns the address of buffer i's data page.
+func (l *Layout) BufDataAddr(i int) arch.PAddr {
+	return l.BufData.Base + arch.PAddr(i*arch.PageSize)
+}
+
+// HeapScratch returns an address in the general-allocation part of the
+// kernel heap (past the page-table pages), offset by off modulo the
+// scratch area size.
+func (l *Layout) HeapScratch(off int) arch.PAddr {
+	scratch := l.KernelHeap.Base + arch.PAddr(NumProcs)*arch.PageSize
+	size := int(l.KernelHeap.End() - scratch)
+	return scratch + arch.PAddr(off%size)
+}
+
+// FirstUserFrame is the first pageable physical frame number.
+const FirstUserFrame = uint32(ReservedFrames)
+
+// Attribute maps a physical data address to the structure name used by
+// Figure 8. routine is the name of the OS routine executing when the miss
+// occurred ("" if unknown); it resolves dynamically-allocated memory (user
+// pages, buffer data, kernel heap) to the Bcopy/Bclear categories when the
+// miss happened inside a block operation, mirroring the subroutine
+// instrumentation of Section 2.2.
+func (l *Layout) Attribute(a arch.PAddr, routine string) string {
+	switch {
+	case l.KernelText.Contains(a):
+		return AttrKernelText
+	case l.ProcTable.Contains(a):
+		return AttrProcTable
+	case l.RunQueue.Contains(a):
+		return AttrRunQueue
+	case l.HiNdproc.Contains(a):
+		return AttrHiNdproc
+	case l.FreePgBuck.Contains(a):
+		return AttrFreePgBuck
+	case l.InodeTable.Contains(a):
+		return AttrInode
+	case l.BufHeaders.Contains(a):
+		return AttrBuffer
+	case l.Pfdat.Contains(a):
+		return AttrPfdat
+	case l.UPages.Contains(a):
+		off := uint32(a-l.UPages.Base) % (UStructSize + KStackSize)
+		switch {
+		case off < PCBSize:
+			return AttrPCB
+		case off < PCBSize+EframeSize:
+			return AttrEframe
+		case off < UStructSize:
+			return AttrRestUser
+		default:
+			return AttrKernelStack
+		}
+	}
+	// Dynamically-placed memory: attribute to the block operation in
+	// progress, if any.
+	switch routine {
+	case RoutineBcopy:
+		return AttrBcopy
+	case RoutineBclear:
+		return AttrBclear
+	}
+	return AttrOther
+}
+
+// Table3Sizes returns the structure-name → size mapping the paper's Table 3
+// reports, for the documentation generator and its verification test.
+func Table3Sizes() map[string]int {
+	return map[string]int{
+		AttrKernelStack: KStackSize,
+		AttrPCB:         PCBSize,
+		AttrEframe:      EframeSize,
+		AttrRestUser:    RestUSize,
+		AttrProcTable:   ProcTableSize,
+		AttrPfdat:       PfdatSize,
+		AttrBuffer:      BufHeadersSize,
+		AttrInode:       InodeTableSize,
+		AttrRunQueue:    RunQueueSize,
+		AttrFreePgBuck:  FreePgBuckSize,
+	}
+}

@@ -1,0 +1,110 @@
+// Package model builds the analytic model the paper's Section 4.1 points
+// at: "This data is also useful to build analytic models of OS and
+// application referencing activity." From the measured per-invocation
+// statistics (Figure 1) alone — average OS invocation length and misses,
+// average application stretch and misses, UTLB fault profile — it predicts
+// the Table 1 quantities (time split between OS and application, miss
+// stall as a fraction of non-idle time, the OS share of misses).
+//
+// The model is validated against the full simulation: a test checks the
+// prediction against the measured values, which is precisely how such a
+// model would have been used in 1992 to extrapolate beyond the traced
+// machine.
+package model
+
+import (
+	"repro/internal/arch"
+	"repro/internal/core"
+)
+
+// Inputs are the Figure 1 statistics the model consumes.
+type Inputs struct {
+	// OSCycles, OSIMiss, OSDMiss describe the average OS invocation
+	// (idle loop excluded).
+	OSCycles float64
+	OSIMiss  float64
+	OSDMiss  float64
+	// AppCycles, AppIMiss, AppDMiss describe the average application
+	// stretch between invocations.
+	AppCycles float64
+	AppIMiss  float64
+	AppDMiss  float64
+	// UTLBPerApp and UTLBMissPerFault describe the cheap-fault spikes
+	// within an application stretch.
+	UTLBPerApp       float64
+	UTLBMissPerFault float64
+	// UTLBHandlerCycles is the base cost of one UTLB fault (the paper
+	// computes the handler takes ≈1.5% of application cycles).
+	UTLBHandlerCycles float64
+}
+
+// FromCharacterization extracts the model inputs from a measured run.
+func FromCharacterization(ch *core.Characterization) Inputs {
+	st := ch.Invocations()
+	return Inputs{
+		OSCycles:          st.OSAvgCycles,
+		OSIMiss:           st.OSAvgIMiss,
+		OSDMiss:           st.OSAvgDMiss,
+		AppCycles:         st.AppAvgCycles,
+		AppIMiss:          st.AppAvgIMiss,
+		AppDMiss:          st.AppAvgDMiss,
+		UTLBPerApp:        st.AppAvgUTLBs,
+		UTLBMissPerFault:  st.UTLBMissPerFault,
+		UTLBHandlerCycles: 50,
+	}
+}
+
+// Prediction is what the model derives.
+type Prediction struct {
+	// SysShare and UserShare split non-idle time (Table 1 cols 2-3,
+	// renormalized without idle).
+	SysShare  float64
+	UserShare float64
+	// OSMissShare is OS misses / all misses (Table 1 col 5).
+	OSMissShare float64
+	// StallAll and StallOS are miss-stall fractions of non-idle time
+	// (Table 1 cols 6-7).
+	StallAll float64
+	StallOS  float64
+	// UTLBShare is the cheap-fault handler's share of application
+	// cycles (the paper: ≈1.5%).
+	UTLBShare float64
+}
+
+// Predict derives the Table 1 quantities from the basic pattern: the
+// timeline is a renewal process alternating one application stretch (with
+// embedded UTLB spikes) and one OS invocation.
+func Predict(in Inputs) Prediction {
+	utlbCycles := in.UTLBPerApp * (in.UTLBHandlerCycles +
+		in.UTLBMissPerFault*float64(arch.MissStallCycles))
+	utlbMisses := in.UTLBPerApp * in.UTLBMissPerFault
+
+	// The segment builder folds UTLB spikes INTO the application
+	// stretch's cycle count but tallies their misses SEPARATELY
+	// (trace.Segment doc): so cycles move from app to OS here, while
+	// the miss counts below need no such correction.
+	osCycles := in.OSCycles + utlbCycles // UTLB handling is OS work
+	appCycles := in.AppCycles - utlbCycles
+	if appCycles < 0 {
+		appCycles = 0
+	}
+	period := osCycles + appCycles
+	osMisses := in.OSIMiss + in.OSDMiss + utlbMisses
+	appMisses := in.AppIMiss + in.AppDMiss
+	allMisses := osMisses + appMisses
+
+	var p Prediction
+	if period > 0 {
+		p.SysShare = 100 * osCycles / period
+		p.UserShare = 100 * appCycles / period
+		p.StallAll = 100 * allMisses * float64(arch.MissStallCycles) / period
+		p.StallOS = 100 * osMisses * float64(arch.MissStallCycles) / period
+	}
+	if allMisses > 0 {
+		p.OSMissShare = 100 * osMisses / allMisses
+	}
+	if in.AppCycles > 0 {
+		p.UTLBShare = 100 * utlbCycles / in.AppCycles
+	}
+	return p
+}

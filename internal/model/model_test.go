@@ -1,0 +1,70 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+func TestPredictBasics(t *testing.T) {
+	in := Inputs{
+		OSCycles: 10_000, OSIMiss: 100, OSDMiss: 100,
+		AppCycles: 30_000, AppIMiss: 80, AppDMiss: 120,
+		UTLBPerApp: 2, UTLBMissPerFault: 0.5, UTLBHandlerCycles: 50,
+	}
+	p := Predict(in)
+	if math.Abs(p.SysShare+p.UserShare-100) > 1e-9 {
+		t.Errorf("shares sum to %v", p.SysShare+p.UserShare)
+	}
+	if p.StallOS > p.StallAll {
+		t.Error("OS stall exceeds total stall")
+	}
+	if p.OSMissShare <= 0 || p.OSMissShare >= 100 {
+		t.Errorf("OSMissShare = %v", p.OSMissShare)
+	}
+	if p.UTLBShare <= 0 {
+		t.Error("no UTLB share")
+	}
+}
+
+func TestPredictDegenerate(t *testing.T) {
+	var p Prediction
+	p = Predict(Inputs{})
+	if p.SysShare != 0 || p.StallAll != 0 || p.OSMissShare != 0 {
+		t.Errorf("zero inputs should predict zeros: %+v", p)
+	}
+	// UTLB work exceeding the app stretch must clamp, not go negative.
+	p = Predict(Inputs{OSCycles: 100, AppCycles: 10,
+		UTLBPerApp: 100, UTLBHandlerCycles: 50})
+	if p.UserShare < 0 {
+		t.Errorf("negative user share: %+v", p)
+	}
+}
+
+// TestModelMatchesSimulation validates the Section 4.1 analytic model: the
+// prediction from per-invocation averages must land near the full
+// simulation's measured Table 1 values.
+func TestModelMatchesSimulation(t *testing.T) {
+	for _, kind := range []workload.Kind{workload.Pmake, workload.Oracle} {
+		ch := core.Run(core.Config{Workload: kind, Window: 6_000_000,
+			Warmup: 3_000_000, Seed: 4})
+		p := Predict(FromCharacterization(ch))
+		u, s, _ := ch.TimeSplit()
+		measSys := 100 * s / (u + s) // renormalize without idle
+		all, osOnly, _ := ch.StallPct()
+		t.Logf("%s: sys %.1f (model) vs %.1f (sim); stallOS %.1f vs %.1f; stallAll %.1f vs %.1f; osShare %.1f vs %.1f",
+			kind, p.SysShare, measSys, p.StallOS, osOnly, p.StallAll, all,
+			p.OSMissShare, ch.OSMissShare())
+		within := func(name string, got, want, tol float64) {
+			if math.Abs(got-want) > tol {
+				t.Errorf("%s %s: model %.1f vs sim %.1f (tol %.1f)", kind, name, got, want, tol)
+			}
+		}
+		within("sys-share", p.SysShare, measSys, 10)
+		within("stall-os", p.StallOS, osOnly, 8)
+		within("stall-all", p.StallAll, all, 12)
+		within("os-miss-share", p.OSMissShare, ch.OSMissShare(), 12)
+	}
+}

@@ -1,0 +1,448 @@
+package sim
+
+import (
+	"repro/internal/arch"
+	"repro/internal/bus"
+	"repro/internal/kernel"
+	"repro/internal/monitor"
+	"repro/internal/tlb"
+)
+
+// Config tunes the simulator.
+type Config struct {
+	// NCPU is the processor count (default 4, the measured machine).
+	NCPU int
+	// Seed drives all randomness.
+	Seed int64
+	// Window is the traced portion of the run in cycles.
+	Window arch.Cycles
+	// Warmup runs before tracing is enabled so that cold-start
+	// transients are excluded (the paper traces a running system).
+	Warmup arch.Cycles
+	// MonitorCap is the trace-buffer capacity (0 → the real monitor's
+	// 2M transactions).
+	MonitorCap int
+	// MasterThreshold is the buffer fill fraction at which the master
+	// process suspends the workload and dumps the trace.
+	MasterThreshold float64
+	// NetPeriod posts a network interrupt on CPU 1 every so many cycles
+	// (the trace-transfer daemons of Section 2.1). 0 disables.
+	NetPeriod arch.Cycles
+	// NoTrace disables the monitor entirely (kernel-counter-only runs,
+	// e.g. the Figure 11 CPU sweeps).
+	NoTrace bool
+	// UpdateProtocol switches the bus to write-update coherence (the
+	// protocol ablation).
+	UpdateProtocol bool
+	// Kernel carries kernel tuning; NCPU and Seed are propagated.
+	Kernel kernel.Config
+}
+
+func (c Config) withDefaults() Config {
+	if c.NCPU == 0 {
+		c.NCPU = arch.DefaultCPUs
+	}
+	if c.Window == 0 {
+		c.Window = 8_000_000
+	}
+	if c.Warmup == 0 {
+		c.Warmup = c.Window / 4
+	}
+	if c.MasterThreshold == 0 {
+		c.MasterThreshold = 0.75
+	}
+	if c.NetPeriod == 0 {
+		c.NetPeriod = 70_000 // ≈2 ms
+	}
+	c.Kernel.NCPU = c.NCPU
+	c.Kernel.Seed = c.Seed
+	return c
+}
+
+// userBurst caps how long a CPU runs user code per step, bounding the
+// clock skew between CPUs (and therefore the lock-interval approximation
+// error).
+const userBurst = 2000
+
+// idleStep is how far an idle CPU advances per poll of the run queue.
+const idleStep = 400
+
+// Simulator owns the machine and the kernel.
+type Simulator struct {
+	Cfg  Config
+	K    *kernel.Kernel
+	Bus  *bus.System
+	Mon  *monitor.Monitor
+	CPUs []*CPU
+
+	traceEscapes bool
+	end          arch.Cycles
+	nextNet      arch.Cycles
+
+	// TraceStartAt is when tracing was enabled (for rate computations).
+	TraceStartAt arch.Cycles
+	// BaseCounters is the kernel-counter snapshot at trace start; the
+	// traced window's counters are K.Counters().Sub(BaseCounters).
+	BaseCounters kernel.Counters
+	// OpCycles accumulates kernel time by high-level operation (for
+	// calibration and the Figure 9 cross-check).
+	OpCycles [kernel.NumOps]arch.Cycles
+	// Run-queue depth sampling (diagnostics).
+	QDepthSum int64
+	QSamples  int64
+	// ICacheFlushes counts code-page-reallocation flushes.
+	ICacheFlushes int64
+}
+
+// New builds a simulator. Workloads then create processes through
+// Kernel() and call Run.
+func New(cfg Config) *Simulator {
+	cfg = cfg.withDefaults()
+	s := &Simulator{Cfg: cfg}
+	s.K = kernel.New(cfg.Kernel)
+	if cfg.NoTrace {
+		s.Bus = bus.NewSystem(cfg.NCPU, nil)
+	} else {
+		s.Mon = monitor.New(cfg.MonitorCap)
+		s.Mon.SetEnabled(false)
+		s.Bus = bus.NewSystem(cfg.NCPU, s.Mon)
+	}
+	if cfg.UpdateProtocol {
+		s.Bus.Proto = bus.WriteUpdate
+	}
+	s.CPUs = make([]*CPU, cfg.NCPU)
+	for i := range s.CPUs {
+		s.CPUs[i] = &CPU{
+			id:            arch.CPUID(i),
+			sim:           s,
+			tlb:           tlb.New(),
+			mode:          arch.ModeKernel,
+			nextClockTick: arch.ClockTickCycles + arch.Cycles(i*1000),
+		}
+	}
+	return s
+}
+
+// Kernel returns the kernel instance for workload setup.
+func (s *Simulator) Kernel() *kernel.Kernel { return s.K }
+
+// Run executes warmup plus the traced window.
+func (s *Simulator) Run() {
+	// Wire memory down to the circulating pool (see kernel.Config).
+	s.K.WireAllBut(s.K.Cfg.PoolFrames)
+	// Initial schedule: each CPU picks its first process (or idles).
+	for _, c := range s.CPUs {
+		s.beginOS(c, kernel.OpOtherSyscall)
+		s.scheduleNext(c, nil, false)
+	}
+	// Warmup, monitor off.
+	s.end = s.Cfg.Warmup
+	s.loop()
+	// Enable tracing, synchronize per-CPU state into the trace.
+	s.traceEscapes = true
+	if s.Mon != nil {
+		s.Mon.SetEnabled(true)
+	}
+	s.TraceStartAt = s.minClock()
+	s.BaseCounters = s.K.Counters()
+	s.K.Locks.ResetStats()
+	s.CPUs[0].Escape(monitor.EvTraceStart)
+	// Initial-state dump: which frames hold code (the postprocessor
+	// needs this to tell instruction fetches from data reads in user
+	// space).
+	for _, fr := range s.K.CodeFrames() {
+		s.CPUs[0].Escape(monitor.EvPageAlloc, fr, uint32(1))
+	}
+	for _, c := range s.CPUs {
+		c.needSync = true
+		// Reset accounting so reported fractions cover the traced
+		// window only.
+		c.Time = [3]arch.Cycles{}
+		c.Stall = [3]arch.Cycles{}
+		c.L2Stall = [3]arch.Cycles{}
+		c.SyncCycles = 0
+	}
+	s.end = s.TraceStartAt + s.Cfg.Window
+	s.loop()
+}
+
+func (s *Simulator) minClock() arch.Cycles {
+	m := s.CPUs[0].now
+	for _, c := range s.CPUs[1:] {
+		if c.now < m {
+			m = c.now
+		}
+	}
+	return m
+}
+
+// loop steps the CPU with the smallest clock until all pass s.end.
+func (s *Simulator) loop() {
+	for {
+		var c *CPU
+		for _, q := range s.CPUs {
+			if q.now < s.end && (c == nil || q.now < c.now) {
+				c = q
+			}
+		}
+		if c == nil {
+			return
+		}
+		s.step(c)
+	}
+}
+
+// step runs one bounded unit of work on a CPU.
+func (s *Simulator) step(c *CPU) {
+	s.QDepthSum += int64(s.K.RunnableCount())
+	s.QSamples++
+	if c.needSync {
+		c.needSync = false
+		s.syncEscape(c)
+	}
+	// The master process: dump the trace buffer before it overflows.
+	if s.Mon != nil && s.Mon.FillFraction() > s.Cfg.MasterThreshold {
+		c.Escape(monitor.EvSuspend)
+		s.Mon.Dump()
+		c.Escape(monitor.EvResume)
+	}
+	// Asynchronous interrupts for this CPU.
+	if ev, ok := s.K.PopDueEventFor(c.id, c.now); ok {
+		s.interrupt(c, ev.Kind, func() {
+			if ev.Kind == kernel.IntrDisk {
+				s.K.DiskIntr(c, ev.Ch)
+			} else {
+				s.K.NetIntr(c)
+			}
+		})
+		return
+	}
+	// Periodic network activity on CPU 1.
+	if c.id == 1 && s.Cfg.NetPeriod > 0 {
+		if s.nextNet == 0 {
+			s.nextNet = c.now + s.Cfg.NetPeriod
+		}
+		if c.now >= s.nextNet {
+			s.nextNet = c.now + s.Cfg.NetPeriod
+			s.interrupt(c, kernel.IntrNet, func() { s.K.NetIntr(c) })
+			return
+		}
+	}
+	// The 10 ms clock.
+	if c.now >= c.nextClockTick {
+		c.nextClockTick += arch.ClockTickCycles
+		s.clockTick(c)
+		return
+	}
+	if c.cur == nil {
+		s.idleLoop(c)
+		return
+	}
+	s.runUser(c)
+}
+
+// syncEscape records the CPU's state at trace start so the postprocessor
+// knows the initial mode and process of every CPU.
+func (s *Simulator) syncEscape(c *CPU) {
+	if c.cur != nil {
+		c.Escape(monitor.EvRunProc, uint32(c.cur.PID))
+		return
+	}
+	// Idle: reopen the OS/idle window in the trace.
+	c.Escape(monitor.EvEnterOS, uint32(kernel.OpOtherSyscall), 0)
+	c.Escape(monitor.EvEnterIdle)
+}
+
+// beginOS opens an OS invocation: escape, mode switch, op accounting.
+func (s *Simulator) beginOS(c *CPU, op kernel.OpKind) {
+	s.K.CountOp(op)
+	var pid arch.PID
+	if c.cur != nil {
+		pid = c.cur.PID
+	}
+	c.Escape(monitor.EvEnterOS, uint32(op), uint32(pid))
+	c.mode = arch.ModeKernel
+	c.inOS = true
+	c.curOp = op
+	c.osStart = c.now
+}
+
+// endOS closes the OS invocation and returns to user mode.
+func (s *Simulator) endOS(c *CPU) {
+	c.Escape(monitor.EvExitOS)
+	c.inOS = false
+	c.mode = arch.ModeUser
+	s.OpCycles[c.curOp] += c.now - c.osStart
+	c.osStart = 0
+}
+
+// enterIdle parks the CPU in the OS idle loop (the OS window stays open,
+// as in Figure 1's "OS in the Idle Loop" segment).
+func (s *Simulator) enterIdle(c *CPU) {
+	c.Escape(monitor.EvEnterIdle)
+	c.mode = arch.ModeIdle
+	s.OpCycles[c.curOp] += c.now - c.osStart
+	c.osStart = c.now // further time is idle, not op time
+	c.cur = nil
+}
+
+// interrupt wraps an interrupt handler in the right trace events for the
+// CPU's current state (user mode or inside the idle loop).
+func (s *Simulator) interrupt(c *CPU, kind kernel.IntrKind, handler func()) {
+	if c.inOS {
+		// Interrupted the idle loop: stay inside the open OS window.
+		s.K.CountOp(kernel.OpInterrupt)
+		c.Escape(monitor.EvEnterIntr, uint32(kind))
+		c.mode = arch.ModeKernel
+		start := c.now
+		handler()
+		s.OpCycles[kernel.OpInterrupt] += c.now - start
+		c.Escape(monitor.EvExitIntr)
+		if s.K.RunnableCount() > 0 {
+			c.Escape(monitor.EvExitIdle)
+			c.osStart = c.now
+			s.scheduleNext(c, nil, false)
+			return
+		}
+		c.mode = arch.ModeIdle
+		return
+	}
+	pr := c.cur
+	s.beginOS(c, kernel.OpInterrupt)
+	c.Escape(monitor.EvEnterIntr, uint32(kind))
+	s.K.EnterException(c, pr)
+	handler()
+	c.Escape(monitor.EvExitIntr)
+	s.K.ExitException(c, pr)
+	s.endOS(c)
+}
+
+// clockTick delivers the scheduler tick, preempting the current process at
+// quantum expiry.
+func (s *Simulator) clockTick(c *CPU) {
+	if c.inOS {
+		// Tick during idle.
+		s.K.CountOp(kernel.OpInterrupt)
+		c.Escape(monitor.EvEnterIntr, uint32(kernel.IntrClock))
+		c.mode = arch.ModeKernel
+		start := c.now
+		s.K.ClockIntr(c, nil, c.now)
+		s.OpCycles[kernel.OpInterrupt] += c.now - start
+		c.Escape(monitor.EvExitIntr)
+		if s.K.RunnableCount() > 0 {
+			c.Escape(monitor.EvExitIdle)
+			c.osStart = c.now
+			s.scheduleNext(c, nil, false)
+			return
+		}
+		c.mode = arch.ModeIdle
+		return
+	}
+	pr := c.cur
+	s.beginOS(c, kernel.OpInterrupt)
+	c.Escape(monitor.EvEnterIntr, uint32(kernel.IntrClock))
+	s.K.EnterException(c, pr)
+	resched := s.K.ClockIntr(c, pr, c.now)
+	c.Escape(monitor.EvExitIntr)
+	if resched {
+		c.cur = nil
+		s.scheduleNext(c, pr, true)
+		return
+	}
+	s.K.ExitException(c, pr)
+	s.endOS(c)
+}
+
+// scheduleNext context-switches to the next ready process, running any
+// pending kernel continuation it holds; with nothing runnable the CPU
+// idles. Called inside an open OS window.
+func (s *Simulator) scheduleNext(c *CPU, old *kernel.Proc, requeue bool) {
+	for {
+		next := s.K.ContextSwitch(c, old, requeue)
+		if next == nil {
+			s.enterIdle(c)
+			return
+		}
+		c.cur = next
+		c.flushMicroTLB()
+		if cont, _ := s.K.TakeContinuation(next); cont != nil {
+			switch cont(c, next) {
+			case kernel.SysBlocked:
+				c.cur = nil
+				old, requeue = nil, false
+				continue
+			case kernel.SysYield:
+				c.cur = nil
+				old, requeue = next, true
+				continue
+			case kernel.SysExited:
+				c.cur = nil
+				old, requeue = nil, false
+				continue
+			}
+		}
+		s.K.ExitException(c, next)
+		s.endOS(c)
+		return
+	}
+}
+
+// idleLoop advances an idle CPU: poll the run queue, pick up work when it
+// appears.
+func (s *Simulator) idleLoop(c *CPU) {
+	if s.K.RunnableCount() > 0 {
+		c.Escape(monitor.EvExitIdle)
+		c.mode = arch.ModeKernel
+		c.osStart = c.now
+		s.scheduleNext(c, nil, false)
+		return
+	}
+	// Spin in the idle loop: fetch it and poll the run-queue head.
+	c.execQuiet(s.K.T.R("idle_loop"))
+	c.dataRef(s.K.L.RunQueue.Base, false)
+	c.adv(idleStep)
+}
+
+// doSyscall performs one system call as a full OS invocation.
+func (s *Simulator) doSyscall(c *CPU, req kernel.SyscallReq) {
+	pr := c.cur
+	s.beginOS(c, kernel.OpKindOf(req))
+	s.K.EnterException(c, pr)
+	st := s.K.Syscall(c, pr, req)
+	s.settle(c, pr, st)
+}
+
+// doExit terminates the current process.
+func (s *Simulator) doExit(c *CPU) {
+	pr := c.cur
+	s.beginOS(c, kernel.OpOtherSyscall)
+	s.K.EnterException(c, pr)
+	st := s.K.ExitProc(c, pr)
+	s.settle(c, pr, st)
+}
+
+// settle finishes an OS invocation according to the syscall status.
+func (s *Simulator) settle(c *CPU, pr *kernel.Proc, st kernel.SysStatus) {
+	switch st {
+	case kernel.SysDone:
+		s.K.ExitException(c, pr)
+		s.endOS(c)
+	case kernel.SysBlocked, kernel.SysExited:
+		c.cur = nil
+		s.scheduleNext(c, nil, false)
+	case kernel.SysYield:
+		c.cur = nil
+		s.scheduleNext(c, pr, true)
+	}
+}
+
+// pageFault services an expensive TLB fault as its own OS invocation.
+func (s *Simulator) pageFault(c *CPU, pr *kernel.Proc, vpage uint32, write bool) {
+	s.beginOS(c, kernel.OpExpensiveTLB)
+	s.K.EnterException(c, pr)
+	s.K.LockShr(c, pr)
+	s.K.PageFault(c, pr, vpage, write)
+	s.K.UnlockShr(c, pr)
+	s.K.ExitException(c, pr)
+	s.endOS(c)
+}

@@ -1,0 +1,105 @@
+// Package tlb models the per-CPU 64-entry fully-associative TLB of the
+// MIPS R3000. Entries are tagged with a process id (the R3000 ASID), so
+// context switches do not flush the TLB. Misses are serviced in software:
+// the kernel's UTLB handler for pages already mapped (cheap faults) or the
+// general fault path when a physical page must be allocated (expensive
+// faults).
+package tlb
+
+import "repro/internal/arch"
+
+// Entry is one TLB slot.
+type Entry struct {
+	Valid bool
+	PID   arch.PID
+	VPage uint32
+	Frame uint32
+}
+
+// TLB is one CPU's translation buffer. Replacement is round-robin over the
+// entries, approximating the R3000's random replacement deterministically.
+type TLB struct {
+	entries [arch.TLBEntries]Entry
+	next    int
+
+	// Hits and Misses count lookups for the Figure 9 discussion of
+	// cheap-fault frequency.
+	Hits   int64
+	Misses int64
+}
+
+// New returns an empty TLB.
+func New() *TLB { return &TLB{} }
+
+// Lookup translates (pid, vpage), reporting a miss if no valid entry
+// matches.
+func (t *TLB) Lookup(pid arch.PID, vpage uint32) (frame uint32, hit bool) {
+	for i := range t.entries {
+		e := &t.entries[i]
+		if e.Valid && e.PID == pid && e.VPage == vpage {
+			t.Hits++
+			return e.Frame, true
+		}
+	}
+	t.Misses++
+	return 0, false
+}
+
+// Insert installs a translation, returning the index used and the entry it
+// displaced (displaced.Valid is false if the slot was empty). If the
+// (pid, vpage) pair is already present its entry is updated in place.
+func (t *TLB) Insert(pid arch.PID, vpage, frame uint32) (index int, displaced Entry) {
+	for i := range t.entries {
+		e := &t.entries[i]
+		if e.Valid && e.PID == pid && e.VPage == vpage {
+			e.Frame = frame
+			return i, Entry{}
+		}
+	}
+	i := t.next
+	t.next = (t.next + 1) % arch.TLBEntries
+	displaced = t.entries[i]
+	t.entries[i] = Entry{Valid: true, PID: pid, VPage: vpage, Frame: frame}
+	return i, displaced
+}
+
+// InvalidatePID drops every entry belonging to pid (process exit) and
+// returns how many were dropped.
+func (t *TLB) InvalidatePID(pid arch.PID) int {
+	n := 0
+	for i := range t.entries {
+		if t.entries[i].Valid && t.entries[i].PID == pid {
+			t.entries[i].Valid = false
+			n++
+		}
+	}
+	return n
+}
+
+// InvalidateFrame drops every entry mapping to physical frame f (page
+// reclaim) and returns how many were dropped.
+func (t *TLB) InvalidateFrame(f uint32) int {
+	n := 0
+	for i := range t.entries {
+		if t.entries[i].Valid && t.entries[i].Frame == f {
+			t.entries[i].Valid = false
+			n++
+		}
+	}
+	return n
+}
+
+// Valid returns the number of valid entries.
+func (t *TLB) Valid() int {
+	n := 0
+	for i := range t.entries {
+		if t.entries[i].Valid {
+			n++
+		}
+	}
+	return n
+}
+
+// Entries exposes the slots for the initial-state dump the instrumentation
+// writes when tracing starts (Section 2.2).
+func (t *TLB) Entries() []Entry { return t.entries[:] }

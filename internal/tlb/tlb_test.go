@@ -1,0 +1,155 @@
+package tlb
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/arch"
+)
+
+func TestLookupMissThenHit(t *testing.T) {
+	tb := New()
+	if _, hit := tb.Lookup(1, 100); hit {
+		t.Fatal("empty TLB hit")
+	}
+	tb.Insert(1, 100, 777)
+	f, hit := tb.Lookup(1, 100)
+	if !hit || f != 777 {
+		t.Fatalf("Lookup = (%d,%v), want (777,true)", f, hit)
+	}
+	if tb.Hits != 1 || tb.Misses != 1 {
+		t.Errorf("counters hits=%d misses=%d", tb.Hits, tb.Misses)
+	}
+}
+
+func TestPIDTagging(t *testing.T) {
+	tb := New()
+	tb.Insert(1, 100, 5)
+	if _, hit := tb.Lookup(2, 100); hit {
+		t.Error("entry leaked across address spaces")
+	}
+	tb.Insert(2, 100, 6)
+	f1, _ := tb.Lookup(1, 100)
+	f2, _ := tb.Lookup(2, 100)
+	if f1 != 5 || f2 != 6 {
+		t.Errorf("per-pid translations wrong: %d %d", f1, f2)
+	}
+}
+
+func TestInsertUpdatesInPlace(t *testing.T) {
+	tb := New()
+	i1, _ := tb.Insert(1, 100, 5)
+	i2, disp := tb.Insert(1, 100, 9)
+	if i1 != i2 || disp.Valid {
+		t.Errorf("re-insert: idx %d→%d displaced=%+v", i1, i2, disp)
+	}
+	if f, _ := tb.Lookup(1, 100); f != 9 {
+		t.Errorf("updated frame = %d, want 9", f)
+	}
+	if tb.Valid() != 1 {
+		t.Errorf("Valid = %d, want 1", tb.Valid())
+	}
+}
+
+func TestCapacityAndDisplacement(t *testing.T) {
+	tb := New()
+	for v := uint32(0); v < arch.TLBEntries; v++ {
+		if _, disp := tb.Insert(1, v, v); disp.Valid {
+			t.Fatalf("displacement while filling at %d", v)
+		}
+	}
+	if tb.Valid() != arch.TLBEntries {
+		t.Fatalf("Valid = %d, want %d", tb.Valid(), arch.TLBEntries)
+	}
+	_, disp := tb.Insert(1, 1000, 1000)
+	if !disp.Valid || disp.VPage != 0 {
+		t.Errorf("expected round-robin displacement of vpage 0, got %+v", disp)
+	}
+	if _, hit := tb.Lookup(1, 0); hit {
+		t.Error("displaced entry still hits")
+	}
+}
+
+func TestInvalidatePID(t *testing.T) {
+	tb := New()
+	tb.Insert(1, 10, 1)
+	tb.Insert(1, 11, 2)
+	tb.Insert(2, 10, 3)
+	if n := tb.InvalidatePID(1); n != 2 {
+		t.Errorf("InvalidatePID = %d, want 2", n)
+	}
+	if _, hit := tb.Lookup(2, 10); !hit {
+		t.Error("other pid's entry lost")
+	}
+	if tb.Valid() != 1 {
+		t.Errorf("Valid = %d, want 1", tb.Valid())
+	}
+}
+
+func TestInvalidateFrame(t *testing.T) {
+	tb := New()
+	tb.Insert(1, 10, 7)
+	tb.Insert(2, 20, 7)
+	tb.Insert(1, 30, 8)
+	if n := tb.InvalidateFrame(7); n != 2 {
+		t.Errorf("InvalidateFrame = %d, want 2", n)
+	}
+	if _, hit := tb.Lookup(1, 30); !hit {
+		t.Error("unrelated entry lost")
+	}
+}
+
+func TestEntriesExposesSlots(t *testing.T) {
+	tb := New()
+	tb.Insert(3, 40, 9)
+	found := false
+	for _, e := range tb.Entries() {
+		if e.Valid && e.PID == 3 && e.VPage == 40 && e.Frame == 9 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("inserted entry not visible via Entries()")
+	}
+	if len(tb.Entries()) != arch.TLBEntries {
+		t.Errorf("Entries len = %d", len(tb.Entries()))
+	}
+}
+
+// TestQuickInsertLookupInvalidate: for any sequence of insertions, the
+// most recent insertion is always resident (FIFO replacement can never
+// evict the entry just written), and invalidating its PID removes every
+// translation of that PID while preserving the count invariant.
+func TestQuickInsertLookupInvalidate(t *testing.T) {
+	f := func(ops []uint16) bool {
+		tb := New()
+		for _, op := range ops {
+			pid := arch.PID(op%5) + 1
+			vp := uint32(op % 97)
+			fr := uint32(op)%1000 + 1
+			tb.Insert(pid, vp, fr)
+			if got, hit := tb.Lookup(pid, vp); !hit || got != fr {
+				return false
+			}
+			if tb.Valid() > arch.TLBEntries {
+				return false
+			}
+		}
+		for pid := arch.PID(1); pid <= 5; pid++ {
+			before := tb.Valid()
+			n := tb.InvalidatePID(pid)
+			if tb.Valid() != before-n {
+				return false
+			}
+			for _, e := range tb.Entries() {
+				if e.Valid && e.PID == pid {
+					return false
+				}
+			}
+		}
+		return tb.Valid() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,87 @@
+package trace
+
+import "repro/internal/arch"
+
+// SegKind classifies a segment of one CPU's timeline.
+type SegKind uint8
+
+const (
+	// SegOS is kernel execution inside an OS invocation.
+	SegOS SegKind = iota
+	// SegApp is application execution (UTLB fault spikes included).
+	SegApp
+	// SegIdle is the OS idle loop.
+	SegIdle
+)
+
+// String returns the segment-kind name.
+func (k SegKind) String() string {
+	switch k {
+	case SegOS:
+		return "OS"
+	case SegApp:
+		return "App"
+	default:
+		return "Idle"
+	}
+}
+
+// Segment is one stretch of a CPU's timeline, with the misses that
+// happened in it. OS invocations interrupted by the idle loop appear as
+// several SegOS pieces with the same InvID (Figure 1 separates "OS" from
+// "OS in the Idle Loop").
+type Segment struct {
+	Kind   SegKind
+	InvID  uint32 // OS invocation id for SegOS/SegIdle pieces
+	Cycles arch.Cycles
+	IMiss  int
+	DMiss  int
+	// UTLBs and UTLBMisses count cheap-fault spikes inside SegApp.
+	UTLBs      int
+	UTLBMisses int
+}
+
+// segBuilder accumulates one CPU's segments. The trailing in-progress
+// segment (truncated by the end of the trace) is dropped at close.
+type segBuilder struct {
+	started   bool
+	kind      SegKind
+	invID     uint32
+	startTick uint64
+	cntI      int
+	cntD      int
+	cntUTLB   int
+	cntUTLBM  int
+	finished  []Segment
+}
+
+// boundary closes the current segment at tick and opens a new one.
+func (b *segBuilder) boundary(kind SegKind, invID uint32, tick uint64) {
+	if b.started {
+		b.finished = append(b.finished, Segment{
+			Kind:       b.kind,
+			InvID:      b.invID,
+			Cycles:     arch.Cycles(2 * (tick - b.startTick)), // 60 ns ticks
+			IMiss:      b.cntI,
+			DMiss:      b.cntD,
+			UTLBs:      b.cntUTLB,
+			UTLBMisses: b.cntUTLBM,
+		})
+	}
+	b.started = true
+	b.kind = kind
+	b.invID = invID
+	b.startTick = tick
+	b.cntI, b.cntD, b.cntUTLB, b.cntUTLBM = 0, 0, 0, 0
+}
+
+func (b *segBuilder) imiss()    { b.cntI++ }
+func (b *segBuilder) dmiss()    { b.cntD++ }
+func (b *segBuilder) utlb()     { b.cntUTLB++ }
+func (b *segBuilder) utlbMiss() { b.cntUTLBM++ }
+
+// close flushes the finished segments into out.
+func (b *segBuilder) close(out *[]Segment) {
+	*out = append(*out, b.finished...)
+	b.finished = nil
+}

@@ -1,0 +1,247 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/kernel"
+	"repro/internal/klock"
+)
+
+func testKernel() *kernel.Kernel {
+	return kernel.New(kernel.Config{Seed: 2, PrefillCachedFrames: 64})
+}
+
+func TestCcJobLifecycle(t *testing.T) {
+	k := testKernel()
+	p := k.CreateProc(&kernel.ProcSpec{Name: "cc", DataPages: 1})
+	j := &ccJob{file: 3, seq: 11}
+	var sawOpen, sawClose, sawExit bool
+	var reads, writes, computes int
+	for i := 0; i < 60; i++ {
+		a := j.Next(k, p)
+		if a.Kind == kernel.ActExit {
+			sawExit = true
+			break
+		}
+		if a.Kind == kernel.ActCompute {
+			computes++
+			continue
+		}
+		switch a.Req.Kind {
+		case kernel.SysOpen:
+			sawOpen = true
+			if a.Req.Inode != srcInodeBase+3 {
+				t.Errorf("opened inode %d", a.Req.Inode)
+			}
+		case kernel.SysRead:
+			reads++
+		case kernel.SysWrite:
+			writes++
+			if a.Req.Inode != objInodeBase+3 {
+				t.Errorf("wrote inode %d", a.Req.Inode)
+			}
+		case kernel.SysClose:
+			sawClose = true
+		}
+	}
+	if !sawOpen || !sawClose || !sawExit {
+		t.Errorf("lifecycle incomplete: open=%v close=%v exit=%v", sawOpen, sawClose, sawExit)
+	}
+	if reads < 2 || writes != 2 || computes < 10 {
+		t.Errorf("phase counts: reads=%d writes=%d computes=%d", reads, writes, computes)
+	}
+	// The job keeps exiting once done.
+	if a := j.Next(k, p); a.Kind != kernel.ActExit {
+		t.Error("finished job should keep returning exit")
+	}
+}
+
+func TestCcJobReadsAreColdPerInstance(t *testing.T) {
+	k := testKernel()
+	p := k.CreateProc(&kernel.ProcSpec{Name: "cc", DataPages: 1})
+	offsets := map[int64]bool{}
+	for _, seq := range []int{1, 2} {
+		j := &ccJob{file: 0, seq: seq}
+		for i := 0; i < 60; i++ {
+			a := j.Next(k, p)
+			if a.Kind == kernel.ActExit {
+				break
+			}
+			if a.Kind == kernel.ActSyscall && a.Req.Kind == kernel.SysRead {
+				if offsets[a.Req.Offset] {
+					t.Errorf("offset %d reused across job instances", a.Req.Offset)
+				}
+				offsets[a.Req.Offset] = true
+			}
+		}
+	}
+}
+
+func TestMakeMasterRespectsJobCap(t *testing.T) {
+	k := testKernel()
+	p := k.CreateProc(&kernel.ProcSpec{Name: "make", DataPages: 1})
+	m := &makeMaster{passes: []*kernel.Image{k.NewImage("cc", 4)}}
+	p.LiveChildren = pmakeMaxJobs
+	for i := 0; i < 40; i++ {
+		a := m.Next(k, p)
+		if a.Kind == kernel.ActSyscall && a.Req.Kind == kernel.SysSpawn {
+			t.Fatal("spawned above the -J 8 cap")
+		}
+	}
+	p.LiveChildren = 0
+	spawned := false
+	for i := 0; i < 40; i++ {
+		if a := m.Next(k, p); a.Kind == kernel.ActSyscall && a.Req.Kind == kernel.SysSpawn {
+			spawned = true
+			if a.Req.Child == nil || a.Req.Child.Image == nil {
+				t.Fatal("spawn without image")
+			}
+			break
+		}
+	}
+	if !spawned {
+		t.Error("master never spawned with free slots")
+	}
+}
+
+func TestMp3dBarrierReleasesAllWorkers(t *testing.T) {
+	k := testKernel()
+	sh := &mp3dBarrier{}
+	barrier := k.RegisterUserLock("b")
+	cell := k.RegisterUserLock("c")
+	workers := make([]*mp3dWorker, mp3dProcs)
+	procs := make([]*kernel.Proc, mp3dProcs)
+	for i := range workers {
+		workers[i] = &mp3dWorker{cells: []*klock.Lock{cell}, barrier: barrier,
+			shared: sh, waitGen: -1}
+		procs[i] = k.CreateProc(&kernel.ProcSpec{Name: "w", DataPages: 1})
+	}
+	// Drive worker 0 alone until it arrives at the barrier: it must
+	// then spin via sginap while the others have not arrived.
+	for i := 0; i < 200 && workers[0].waitGen < 0; i++ {
+		workers[0].Next(k, procs[0])
+	}
+	if workers[0].waitGen < 0 {
+		t.Fatal("worker 0 never reached the barrier")
+	}
+	if a := workers[0].Next(k, procs[0]); a.Req.Kind != kernel.SysSginap {
+		t.Fatalf("waiting worker did not sginap: %+v", a)
+	}
+	// Drive the rest to the barrier: the last arriver advances the
+	// generation and passes straight through.
+	for w := 1; w < mp3dProcs; w++ {
+		for i := 0; i < 200 && sh.gen == 0; i++ {
+			workers[w].Next(k, procs[w])
+		}
+	}
+	if sh.gen != 1 {
+		t.Fatalf("barrier did not release: gen=%d arrived=%d", sh.gen, sh.arrived)
+	}
+	// Worker 0 now observes the new generation and resumes computing.
+	if a := workers[0].Next(k, procs[0]); a.Kind != kernel.ActCompute {
+		t.Fatalf("released worker did not resume: %+v", a)
+	}
+	if workers[0].waitGen != -1 {
+		t.Error("worker 0 still marked waiting")
+	}
+	// Uneven progress must never wedge the barrier: drive everyone with
+	// skewed turn counts through several generations.
+	for round := 0; round < 8000 && sh.gen < 4; round++ {
+		w := round % mp3dProcs
+		turns := 1 + w // skew
+		for j := 0; j < turns; j++ {
+			workers[w].Next(k, procs[w])
+		}
+	}
+	if sh.gen < 4 {
+		t.Fatalf("barrier wedged at generation %d under skewed progress", sh.gen)
+	}
+}
+
+func TestOracleServerTransactionLoop(t *testing.T) {
+	k := testKernel()
+	p := k.CreateProc(&kernel.ProcSpec{Name: "db", DataPages: 1})
+	req, reply := k.NewPipe(), k.NewPipe()
+	s := &oracleServer{req: req, reply: reply,
+		accounts: oracleAccounts, branches: oracleBranches}
+	var pipeReads, pipeWrites, logWrites, histWrites, semops int
+	// Drive whole request→batch→reply cycles so the counters balance.
+	for i := 0; i < 5000 && pipeWrites < 4; i++ {
+		a := s.Next(k, p)
+		if a.Kind != kernel.ActSyscall {
+			continue
+		}
+		switch a.Req.Kind {
+		case kernel.SysPipeRead:
+			pipeReads++
+		case kernel.SysPipeWrite:
+			pipeWrites++
+		case kernel.SysWrite:
+			if a.Req.Raw {
+				logWrites++
+				if a.Req.Inode != logInode {
+					t.Errorf("raw write to inode %d", a.Req.Inode)
+				}
+			} else {
+				histWrites++
+				if a.Req.Inode != histInode {
+					t.Errorf("history write to inode %d", a.Req.Inode)
+				}
+			}
+		case kernel.SysSemop:
+			semops++
+		case kernel.SysRead:
+			if !a.Req.Raw {
+				t.Error("database read must be raw")
+			}
+		}
+	}
+	if pipeReads == 0 || pipeWrites == 0 {
+		t.Error("no client interaction")
+	}
+	if logWrites == 0 || histWrites == 0 || semops == 0 {
+		t.Errorf("txn pieces missing: log=%d hist=%d sem=%d", logWrites, histWrites, semops)
+	}
+	// One request → oracleBatch transactions → one reply.
+	if logWrites != histWrites || logWrites != semops {
+		t.Errorf("per-txn stages unbalanced: log=%d hist=%d sem=%d", logWrites, histWrites, semops)
+	}
+	if pipeReads != pipeWrites {
+		t.Errorf("request/reply unbalanced: %d vs %d", pipeReads, pipeWrites)
+	}
+}
+
+func TestTypistBurstBounds(t *testing.T) {
+	k := testKernel()
+	p := k.CreateProc(&kernel.ProcSpec{Name: "t", DataPages: 1})
+	ty := &typist{pipe: k.NewPipe()}
+	for i := 0; i < 100; i++ {
+		a := ty.Next(k, p)
+		if a.Kind == kernel.ActSyscall && a.Req.Kind == kernel.SysPipeWrite {
+			if a.Req.Bytes < 1 || a.Req.Bytes > 15 {
+				t.Fatalf("burst of %d chars outside the paper's 1-15 range", a.Req.Bytes)
+			}
+		}
+	}
+}
+
+func TestEdSessionBlocksOnInputFirst(t *testing.T) {
+	k := testKernel()
+	p := k.CreateProc(&kernel.ProcSpec{Name: "ed", DataPages: 1})
+	e := &edSession{in: k.NewPipe(), out: k.NewPipe(), file: 3000}
+	a := e.Next(k, p)
+	if a.Kind != kernel.ActSyscall || a.Req.Kind != kernel.SysPipeRead {
+		t.Fatalf("first action = %+v, want pipe read", a)
+	}
+	// Subsequent actions include edits, echoes, and autosaves.
+	var saves int
+	for i := 0; i < 60; i++ {
+		a := e.Next(k, p)
+		if a.Kind == kernel.ActSyscall && a.Req.Kind == kernel.SysWrite {
+			saves++
+		}
+	}
+	if saves == 0 {
+		t.Error("ed never saved its file")
+	}
+}

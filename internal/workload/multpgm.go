@@ -1,0 +1,205 @@
+package workload
+
+import (
+	"repro/internal/kernel"
+	"repro/internal/klock"
+)
+
+// Multpgm: the timesharing load of Section 3 — the Mp3d 3-D particle
+// simulator (four processes, 50000 particles in shared memory,
+// synchronizing through user-level locks whose failure path is sginap),
+// the Pmake parallel compile, and five screen-edit sessions, each a
+// program simulating a user typing at a terminal feeding an ed process
+// through a pipe.
+
+const (
+	mp3dProcs = 4
+	// The particle arrays: scaled to the simulation window but still
+	// several times the second-level cache.
+	mp3dSharedPages = 128
+	edSessions      = 5
+)
+
+// lastBarrier exposes the most recent barrier for calibration tests.
+var lastBarrier *mp3dBarrier
+
+// mp3dBarrier is the shared end-of-timestep barrier state.
+type mp3dBarrier struct {
+	gen     int
+	arrived int
+}
+
+// mp3dWorker advances particles: sweep a slice of the shared arrays, take
+// a cell lock for each update phase, and wait at the barrier each
+// timestep. On the oversubscribed machine the barrier's arrival skew is a
+// scheduling quantum or more, so waiters spin 20 times and fall through
+// to sginap over and over — the dominant OS operation of Figure 2.
+type mp3dWorker struct {
+	cells   []*klock.Lock
+	barrier *klock.Lock
+	shared  *mp3dBarrier
+	iter    int
+	waitGen int // -1: not at the barrier
+}
+
+// Next alternates free-flight computation, locked cell updates, and the
+// timestep barrier.
+func (w *mp3dWorker) Next(k *kernel.Kernel, p *kernel.Proc) kernel.Action {
+	if w.waitGen >= 0 {
+		// At the barrier.
+		if w.shared.gen != w.waitGen {
+			// Released.
+			w.waitGen = -1
+			return compute(k, 2_000)
+		}
+		// Spin a little, then yield the CPU (the sync library's 20
+		// failed attempts → sginap).
+		return syscall(kernel.SyscallReq{Kind: kernel.SysSginap})
+	}
+	w.iter++
+	switch {
+	case w.iter%6 == 0:
+		// End of this worker's timestep slice: arrive at the
+		// barrier (a locked counter update).
+		w.shared.arrived++
+		if w.shared.arrived >= mp3dProcs {
+			w.shared.arrived = 0
+			w.shared.gen++
+			// Last arriver passes straight through.
+			return kernel.Action{Kind: kernel.ActUserLock,
+				Lock: w.barrier, Hold: 300}
+		}
+		w.waitGen = w.shared.gen
+		return kernel.Action{Kind: kernel.ActUserLock,
+			Lock: w.barrier, Hold: 300}
+	case w.iter%2 == 0:
+		// Move particles: update a cell under its lock.
+		l := w.cells[k.Rand.Intn(len(w.cells))]
+		return kernel.Action{Kind: kernel.ActUserLock,
+			Lock: l, Hold: jitter(k, 2_500)}
+	default:
+		return compute(k, 9_000)
+	}
+}
+
+// typist simulates a user typing: sleep, then send a burst of 1-15
+// characters down the pipe (Section 3's rand()-driven burst model, with
+// the 5-second throttle scaled to the simulation window).
+type typist struct {
+	pipe *kernel.Pipe
+	n    int
+}
+
+// Next alternates naps with character bursts.
+func (t *typist) Next(k *kernel.Kernel, p *kernel.Proc) kernel.Action {
+	t.n++
+	if t.n%2 == 1 {
+		return syscall(kernel.SyscallReq{Kind: kernel.SysNap, Dur: jitter(k, 14*ms)})
+	}
+	chars := 1 + k.Rand.Intn(15)
+	return syscall(kernel.SyscallReq{Kind: kernel.SysPipeWrite,
+		Pipe: t.pipe, Bytes: chars})
+}
+
+// edSession reads commands from its pipe and performs character searches
+// and text edits over its buffer, echoing to the terminal and writing the
+// file back (the w command) now and then.
+type edSession struct {
+	in   *kernel.Pipe
+	out  *kernel.Pipe
+	file int
+	n    int
+	have bool
+}
+
+// Next blocks on input, then edits, echoes, and occasionally saves.
+func (e *edSession) Next(k *kernel.Kernel, p *kernel.Proc) kernel.Action {
+	e.n++
+	switch {
+	case !e.have:
+		e.have = true
+		return syscall(kernel.SyscallReq{Kind: kernel.SysPipeRead, Pipe: e.in, Bytes: 16})
+	case e.n%7 == 0:
+		// Write the file back.
+		return syscall(kernel.SyscallReq{Kind: kernel.SysWrite,
+			Inode: e.file, Offset: int64(e.n%4) * 4096, Bytes: 2048})
+	case e.n%3 != 0:
+		// Character search / edit over the buffer.
+		return compute(k, 25_000)
+	default:
+		e.have = false
+		return syscall(kernel.SyscallReq{Kind: kernel.SysPipeWrite,
+			Pipe: e.out, Bytes: 1 + k.Rand.Intn(25)})
+	}
+}
+
+// SetupMp3d creates the particle simulator processes and returns the
+// leader.
+func SetupMp3d(k *kernel.Kernel) *kernel.Proc {
+	img := k.NewImage("mp3d", 20) // 80 KB numeric kernel
+	cells := make([]*klock.Lock, 3)
+	for i := range cells {
+		cells[i] = k.RegisterUserLock("mp3d_cell")
+	}
+	barrier := k.RegisterUserLock("mp3d_barrier")
+	shared := &mp3dBarrier{}
+	lastBarrier = shared
+	var leader *kernel.Proc
+	for i := 0; i < mp3dProcs; i++ {
+		spec := &kernel.ProcSpec{
+			Name:             "mp3d",
+			Premap:           true,
+			Image:            img,
+			DataPages:        4,
+			DataHotPages:     16,
+			WritePct:         25,
+			DataRefsPerBlock: 1,
+			CodeLoopBlocks:   96,
+			Behavior: &mp3dWorker{cells: cells, barrier: barrier,
+				shared: shared, waitGen: -1},
+		}
+		if leader == nil {
+			spec.SharedPages = mp3dSharedPages
+		} else {
+			spec.SharedWith = leader
+		}
+		pr := k.CreateProc(spec)
+		if leader == nil {
+			leader = pr
+		}
+	}
+	return leader
+}
+
+// SetupEdSessions creates the five edit sessions (typist + ed pairs).
+func SetupEdSessions(k *kernel.Kernel) {
+	edImg := k.NewImage("ed", 12)
+	tyImg := k.NewImage("typist", 2)
+	for i := 0; i < edSessions; i++ {
+		in := k.NewPipe()
+		out := k.NewPipe()
+		k.CreateProc(&kernel.ProcSpec{
+			Name:         "typist",
+			Premap:       true,
+			Image:        tyImg,
+			DataPages:    2,
+			DataHotPages: 1,
+			Behavior:     &typist{pipe: in},
+		})
+		k.CreateProc(&kernel.ProcSpec{
+			Name:         "ed",
+			Premap:       true,
+			Image:        edImg,
+			DataPages:    8, // the edit buffer
+			DataHotPages: 4,
+			Behavior:     &edSession{in: in, out: out, file: 3000 + i},
+		})
+	}
+}
+
+// SetupMultpgm builds the full timesharing load.
+func SetupMultpgm(k *kernel.Kernel) {
+	SetupMp3d(k)
+	SetupPmake(k)
+	SetupEdSessions(k)
+}

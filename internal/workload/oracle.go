@@ -1,0 +1,201 @@
+package workload
+
+import (
+	"repro/internal/arch"
+	"repro/internal/kernel"
+)
+
+// Oracle: a scaled-down TP1 transaction-processing benchmark (Section 3:
+// 10 branches, 100 tellers, 10000 accounts, sized to fit in memory).
+// Client processes submit debit/credit transactions over pipes; server
+// processes execute them against a large shared buffer pool — the
+// database manages its own buffers and file activity, so its OS profile
+// is dominated by I/O system calls (Figure 9) — and append to the redo
+// log; writer daemons flush the log and database in the background.
+
+const (
+	oracleServers = 6
+	oracleClients = 6
+	// The shared buffer pool: ~6 MB, far beyond TLB reach, so cheap
+	// TLB refills are constant.
+	oraclePoolPages = 512
+	// TP1 entities (scaled instance).
+	oracleBranches = 10
+	oracleTellers  = 100
+	oracleAccounts = 10_000
+
+	dbInodeBase  = 5000 // database files (one per branch)
+	logInode     = 5900
+	histInode    = 5901
+	oracleTxComp = 90_000 // per-transaction compute over the pool
+	oracleBatch  = 3      // transactions per client request
+)
+
+// oracleServer executes transactions: read a request carrying a batch,
+// then for each transaction update account, teller and branch rows in the
+// buffer pool, read a database block on a pool miss, append redo; finally
+// reply.
+type oracleServer struct {
+	req      *kernel.Pipe
+	reply    *kernel.Pipe
+	accounts int
+	branches int
+	stage    int // 0 read; then txn sub-stage batches; then reply
+	txns     int64
+	logAt    int64
+	hist     int64
+}
+
+// Next drives the server's transaction loop.
+func (s *oracleServer) Next(k *kernel.Kernel, p *kernel.Proc) kernel.Action {
+	if s.stage == 0 { // wait for a request
+		s.stage = 1
+		return syscall(kernel.SyscallReq{Kind: kernel.SysPipeRead, Pipe: s.req, Bytes: 64})
+	}
+	if s.stage > 5*oracleBatch { // reply to the client
+		s.stage = 0
+		return syscall(kernel.SyscallReq{Kind: kernel.SysPipeWrite, Pipe: s.reply, Bytes: 32})
+	}
+	sub := (s.stage - 1) % 5
+	s.stage++
+	switch sub {
+	case 0: // SQL processing over the buffer pool
+		return compute(k, oracleTxComp)
+	case 4: // row-latch handoff (System V semaphores)
+		return syscall(kernel.SyscallReq{Kind: kernel.SysSemop,
+			Sem: k.Rand.Intn(8)})
+	case 1: // occasional pool miss: read a database block (raw device)
+		if k.Rand.Intn(100) < 15 {
+			acct := k.Rand.Intn(s.accounts)
+			return syscall(kernel.SyscallReq{Kind: kernel.SysRead, Raw: true,
+				Inode:  dbInodeBase + acct%s.branches,
+				Offset: int64(acct/s.branches) * 4096, Bytes: 4096})
+		}
+		return compute(k, 20_000)
+	case 2: // append the TP1 history row (a file-system write)
+		s.hist += 128
+		return syscall(kernel.SyscallReq{Kind: kernel.SysWrite,
+			Inode: histInode, Offset: s.hist, Bytes: 128})
+	default: // append redo log (raw device)
+		s.txns++
+		s.logAt += 512
+		return syscall(kernel.SyscallReq{Kind: kernel.SysWrite, Raw: true,
+			Inode: logInode, Offset: s.logAt, Bytes: 256})
+	}
+}
+
+// oracleClient is a TP1 terminal: think, send a transaction, wait for the
+// reply.
+type oracleClient struct {
+	req   *kernel.Pipe
+	reply *kernel.Pipe
+	stage int
+}
+
+// Next drives the request/reply loop.
+func (c *oracleClient) Next(k *kernel.Kernel, p *kernel.Proc) kernel.Action {
+	switch c.stage {
+	case 0:
+		c.stage = 1
+		return compute(k, 30_000) // think time (scaled)
+	case 1:
+		c.stage = 2
+		return syscall(kernel.SyscallReq{Kind: kernel.SysPipeWrite, Pipe: c.req, Bytes: 64})
+	default:
+		c.stage = 0
+		return syscall(kernel.SyscallReq{Kind: kernel.SysPipeRead, Pipe: c.reply, Bytes: 32})
+	}
+}
+
+// oracleWriter is a background daemon (log writer / database writer):
+// sleep, then flush dirty blocks.
+type oracleWriter struct {
+	inode  int
+	period int64 // nap in ms
+	n      int64
+}
+
+// Next alternates naps with flush writes.
+func (w *oracleWriter) Next(k *kernel.Kernel, p *kernel.Proc) kernel.Action {
+	w.n++
+	if w.n%3 != 0 {
+		return syscall(kernel.SyscallReq{Kind: kernel.SysNap,
+			Dur: jitter(k, ms*arch.Cycles(w.period))})
+	}
+	return syscall(kernel.SyscallReq{Kind: kernel.SysWrite, Raw: true,
+		Inode: w.inode, Offset: (w.n * 7 % 64) * 4096, Bytes: 4096})
+}
+
+// tp1Params sizes one TP1 instance.
+type tp1Params struct {
+	branches, tellers, accounts int
+	poolPages                   int
+}
+
+// SetupOracle builds the scaled-down database workload the paper traces.
+func SetupOracle(k *kernel.Kernel) {
+	setupOracleSized(k, tp1Params{
+		branches: oracleBranches, tellers: oracleTellers,
+		accounts: oracleAccounts, poolPages: oraclePoolPages,
+	})
+}
+
+// SetupOracleStd builds a standard-sized TP1 instance (100 branches, 1000
+// tellers, 100000 accounts, a 2x buffer pool). The paper ran this variant
+// to check that database size does not change the qualitative OS behavior.
+func SetupOracleStd(k *kernel.Kernel) {
+	setupOracleSized(k, tp1Params{
+		branches: 100, tellers: 1000, accounts: 100_000,
+		poolPages: 2 * oraclePoolPages,
+	})
+}
+
+func setupOracleSized(k *kernel.Kernel, params tp1Params) {
+	// A big database executable: 1.2 MB of text, whose working set
+	// interferes with the OS in the I-cache (Figure 4's Dispap).
+	img := k.NewImage("oracle", 64)
+	clientImg := k.NewImage("tp1term", 4)
+
+	var leader *kernel.Proc
+	for i := 0; i < oracleServers; i++ {
+		req := k.NewPipe()
+		reply := k.NewPipe()
+		spec := &kernel.ProcSpec{
+			Name:             "oracle",
+			Premap:           true,
+			Image:            img,
+			DataPages:        8,
+			DataHotPages:     20, // the buffer pool working set
+			WritePct:         12,
+			DataRefsPerBlock: 1,
+			CodeLoopBlocks:   256, // long, rarely-repeating code paths
+			Behavior: &oracleServer{req: req, reply: reply,
+				accounts: params.accounts, branches: params.branches},
+		}
+		if leader == nil {
+			spec.SharedPages = params.poolPages
+		} else {
+			spec.SharedWith = leader
+		}
+		srv := k.CreateProc(spec)
+		if leader == nil {
+			leader = srv
+		}
+		k.CreateProc(&kernel.ProcSpec{
+			Name:         "tp1term",
+			Premap:       true,
+			Image:        clientImg,
+			DataPages:    2,
+			DataHotPages: 1,
+			Behavior:     &oracleClient{req: req, reply: reply},
+		})
+	}
+	k.CreateProc(&kernel.ProcSpec{
+		Name: "lgwr", Premap: true, Image: k.NewImage("lgwr", 6), DataPages: 4,
+		Behavior: &oracleWriter{inode: logInode, period: 4},
+	})
+	k.CreateProc(&kernel.ProcSpec{
+		Name: "dbwr", Premap: true, Image: k.NewImage("dbwr", 6), DataPages: 4,
+		Behavior: &oracleWriter{inode: dbInodeBase, period: 8},
+	})
+}

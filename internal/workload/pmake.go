@@ -1,0 +1,125 @@
+package workload
+
+import (
+	"repro/internal/kernel"
+)
+
+// Pmake: a parallel make of 56 C files averaging 480 lines, with at most
+// 8 compile jobs at once (Section 3). Each job opens and reads its source,
+// alternates compute-intensive compiler phases with further reads, writes
+// the object file, and exits. The make master spawns jobs up to the
+// concurrency limit and waits when it is reached; when all 56 files are
+// built it starts over, so the traced stretch is statistically stationary.
+
+const (
+	pmakeFiles   = 56
+	pmakeMaxJobs = 8
+
+	srcInodeBase = 1000
+	objInodeBase = 2000
+	makefileIno  = 999
+)
+
+// ccJob compiles one file.
+type ccJob struct {
+	file  int
+	seq   int // distinct per job instance: cpp output and temporaries
+	stage int
+	reads int
+	comps int
+	wrote int
+	off   int64
+}
+
+// Next drives the compile pipeline: open → read/compute interleave →
+// write object → close → exit.
+func (j *ccJob) Next(k *kernel.Kernel, p *kernel.Proc) kernel.Action {
+	switch {
+	case j.stage == 0:
+		j.stage++
+		j.reads = 2 + k.Rand.Intn(3)
+		j.comps = 10 + k.Rand.Intn(8)
+		return syscall(kernel.SyscallReq{Kind: kernel.SysOpen, Inode: srcInodeBase + j.file})
+	case j.reads > 0:
+		j.reads--
+		// Sources, headers and temporaries: mostly cold pages, so
+		// the job blocks on the disk (Pmake "usually exhibits heavy
+		// I/O activity", Section 3).
+		j.off = int64(j.seq*32+j.reads) * 4096
+		return syscall(kernel.SyscallReq{Kind: kernel.SysRead,
+			Inode: srcInodeBase + j.file, Offset: j.off, Bytes: 1024})
+	case j.comps > 0:
+		j.comps--
+		// The optimizing phase: compute-intensive stretches.
+		return compute(k, 62_000)
+	case j.wrote < 2:
+		j.wrote++
+		return syscall(kernel.SyscallReq{Kind: kernel.SysWrite,
+			Inode:  objInodeBase + j.file,
+			Offset: int64(j.seq*8+j.wrote) * 4096, Bytes: 1536})
+	case j.stage == 1:
+		j.stage++
+		return syscall(kernel.SyscallReq{Kind: kernel.SysClose, Inode: srcInodeBase + j.file})
+	default:
+		return kernel.Action{Kind: kernel.ActExit}
+	}
+}
+
+// makeMaster spawns compile jobs, at most pmakeMaxJobs at once. A compile
+// runs one of the compiler passes (cpp, ccom, as, ld) — distinct binaries,
+// so an image occasionally has no live process, its text joins the page
+// cache, and a later reallocation of those frames forces the I-cache
+// flush that produces Inval misses.
+type makeMaster struct {
+	passes []*kernel.Image
+	next   int
+	tick   int
+}
+
+// Next alternates bookkeeping with spawning and waiting.
+func (m *makeMaster) Next(k *kernel.Kernel, p *kernel.Proc) kernel.Action {
+	m.tick++
+	switch {
+	case m.tick%13 == 0:
+		// Re-read the Makefile and dependency state.
+		return syscall(kernel.SyscallReq{Kind: kernel.SysRead,
+			Inode: makefileIno, Offset: int64(m.tick % 4 * 4096), Bytes: 1024})
+	case m.tick%29 == 0:
+		return syscall(kernel.SyscallReq{Kind: kernel.SysMisc})
+	case p.LiveChildren >= pmakeMaxJobs:
+		return syscall(kernel.SyscallReq{Kind: kernel.SysWait})
+	default:
+		file := m.next % pmakeFiles
+		m.next++
+		spec := &kernel.ProcSpec{
+			Name:         "cc",
+			Image:        m.passes[k.Rand.Intn(len(m.passes))],
+			DataPages:    8, // parser tables, symbol table, IR
+			DataHotPages: 5,
+			WritePct:     35,
+			Behavior:     &ccJob{file: file, seq: m.next},
+		}
+		return syscall(kernel.SyscallReq{Kind: kernel.SysSpawn, Child: spec})
+	}
+}
+
+// SetupPmake creates the make master (jobs are spawned dynamically).
+func SetupPmake(k *kernel.Kernel) {
+	passes := []*kernel.Image{
+		k.NewImage("sh", 4),
+		k.NewImage("cpp", 8),
+		k.NewImage("ccom", 12),
+		k.NewImage("as", 8),
+		k.NewImage("ld", 10),
+		k.NewImage("ar", 5),
+		k.NewImage("touch", 3),
+	}
+	k.CreateProc(&kernel.ProcSpec{
+		Name:         "make",
+		Premap:       true,
+		Image:        k.NewImage("make", 6),
+		DataPages:    6,
+		DataHotPages: 3,
+		Behavior:     &makeMaster{passes: passes},
+	})
+}

@@ -1,0 +1,108 @@
+// Package workload builds the three parallel workloads of Section 3 on
+// top of the kernel model:
+//
+//   - Pmake: a parallel make of 56 C files, at most 8 jobs at once, with
+//     heavy I/O and compute-intensive compiler phases.
+//   - Multpgm: a timesharing load — the Mp3d particle simulator (4
+//     processes, shared particle arrays, user-level locks backed by
+//     sginap), Pmake, and five screen-edit sessions (a typist process
+//     feeding an ed process through a pipe).
+//   - Oracle: a scaled-down TP1 transaction workload — client processes
+//     submitting transactions over pipes to server processes that share a
+//     large buffer pool, plus log- and database-writer daemons.
+//
+// Workloads are built from kernel.Behavior state machines; all randomness
+// comes from the kernel's seeded generator, so runs are reproducible.
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/kernel"
+)
+
+// Kind selects a workload.
+type Kind int
+
+const (
+	// Pmake is the parallel compile.
+	Pmake Kind = iota
+	// Multpgm is the multiprogrammed timesharing load.
+	Multpgm
+	// Oracle is the TP1 database workload (the scaled-down instance the
+	// paper traces).
+	Oracle
+	// OracleStd is the standard-sized TP1 instance (100 branches, 1000
+	// tellers, 100000 accounts). The paper reports [18] that the OS
+	// miss characteristics are qualitatively the same as Oracle's; a
+	// test asserts the same here.
+	OracleStd
+)
+
+// String returns the paper's workload name.
+func (k Kind) String() string {
+	switch k {
+	case Pmake:
+		return "Pmake"
+	case Multpgm:
+		return "Multpgm"
+	case Oracle:
+		return "Oracle"
+	case OracleStd:
+		return "OracleStd"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// ParseKind converts a workload name (case-sensitive, as printed) to its
+// Kind.
+func ParseKind(s string) (Kind, error) {
+	switch s {
+	case "Pmake", "pmake":
+		return Pmake, nil
+	case "Multpgm", "multpgm":
+		return Multpgm, nil
+	case "Oracle", "oracle":
+		return Oracle, nil
+	case "OracleStd", "oraclestd":
+		return OracleStd, nil
+	}
+	return 0, fmt.Errorf("workload: unknown kind %q", s)
+}
+
+// ms is one millisecond in 30 ns cycles.
+const ms = arch.Cycles(1_000_000 / arch.CycleNS)
+
+// Setup creates the workload's processes in the kernel.
+func Setup(k *kernel.Kernel, kind Kind) {
+	switch kind {
+	case Pmake:
+		SetupPmake(k)
+	case Multpgm:
+		SetupMultpgm(k)
+	case Oracle:
+		SetupOracle(k)
+	case OracleStd:
+		SetupOracleStd(k)
+	default:
+		panic("workload: unknown kind")
+	}
+}
+
+// jitter returns base scaled by a uniform factor in [0.5, 1.5).
+func jitter(k *kernel.Kernel, base arch.Cycles) arch.Cycles {
+	if base <= 1 {
+		return base
+	}
+	return base/2 + arch.Cycles(k.Rand.Int63n(int64(base)))
+}
+
+func compute(k *kernel.Kernel, base arch.Cycles) kernel.Action {
+	return kernel.Action{Kind: kernel.ActCompute, Cycles: jitter(k, base)}
+}
+
+func syscall(req kernel.SyscallReq) kernel.Action {
+	return kernel.Action{Kind: kernel.ActSyscall, Req: req}
+}

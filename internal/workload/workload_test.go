@@ -1,0 +1,185 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/kernel"
+	"repro/internal/sim"
+)
+
+func runKind(t *testing.T, kind Kind, window arch.Cycles) *sim.Simulator {
+	t.Helper()
+	s := sim.New(sim.Config{
+		Seed:   7,
+		Window: window,
+		Warmup: window / 2,
+	})
+	Setup(s.Kernel(), kind)
+	s.Run()
+	return s
+}
+
+// timeSplit returns user, sys, idle fractions in percent.
+func timeSplit(s *sim.Simulator) (user, sys, idle float64) {
+	var u, k, i arch.Cycles
+	for _, c := range s.CPUs {
+		u += c.Time[arch.ModeUser]
+		k += c.Time[arch.ModeKernel]
+		i += c.Time[arch.ModeIdle]
+	}
+	tot := float64(u + k + i)
+	return 100 * float64(u) / tot, 100 * float64(k) / tot, 100 * float64(i) / tot
+}
+
+func TestPmakeRuns(t *testing.T) {
+	s := runKind(t, Pmake, 4_000_000)
+	u, sy, id := timeSplit(s)
+	t.Logf("Pmake: user=%.1f%% sys=%.1f%% idle=%.1f%% spawns=%d exits=%d disk=%d travs=%d migr=%d ctx=%d",
+		u, sy, id, s.K.Spawns, s.K.Exits, s.K.DiskRequests, s.K.Traversals, s.K.Migrations, s.K.CtxSwitches)
+	t.Logf("ops: %v", opLine(s.K))
+	if s.K.Spawns == 0 || s.K.Exits == 0 {
+		t.Error("pmake spawned or finished no compile jobs")
+	}
+	if s.K.DiskRequests == 0 {
+		t.Error("pmake did no disk I/O")
+	}
+	if sy < 5 {
+		t.Errorf("system time %.1f%% implausibly low", sy)
+	}
+}
+
+func TestMultpgmRuns(t *testing.T) {
+	s := runKind(t, Multpgm, 4_000_000)
+	u, sy, id := timeSplit(s)
+	t.Logf("Multpgm: user=%.1f%% sys=%.1f%% idle=%.1f%%", u, sy, id)
+	t.Logf("ops: %v", opLine(s.K))
+	if s.K.OpCounts[kernel.OpSginap] == 0 {
+		t.Error("no sginap activity in Multpgm")
+	}
+	if id > 20 {
+		t.Errorf("Multpgm idle %.1f%%, should be near zero (always-runnable Mp3d)", id)
+	}
+}
+
+func TestOracleRuns(t *testing.T) {
+	s := runKind(t, Oracle, 4_000_000)
+	u, sy, id := timeSplit(s)
+	t.Logf("Oracle: user=%.1f%% sys=%.1f%% idle=%.1f%%", u, sy, id)
+	t.Logf("ops: %v", opLine(s.K))
+	if s.K.OpCounts[kernel.OpIOSyscall] == 0 {
+		t.Error("Oracle did no I/O syscalls")
+	}
+	var txns int64 = s.K.OpCounts[kernel.OpIOSyscall]
+	if txns < 10 {
+		t.Errorf("only %d I/O calls; transaction engine stalled?", txns)
+	}
+}
+
+func opLine(k *kernel.Kernel) map[string]int64 {
+	m := map[string]int64{}
+	for op := kernel.OpKind(0); op < kernel.NumOps; op++ {
+		m[op.String()] = k.OpCounts[op]
+	}
+	return m
+}
+
+func TestParseKind(t *testing.T) {
+	for _, c := range []struct {
+		in   string
+		want Kind
+	}{{"Pmake", Pmake}, {"multpgm", Multpgm}, {"oracle", Oracle}} {
+		got, err := ParseKind(c.in)
+		if err != nil || got != c.want {
+			t.Errorf("ParseKind(%q) = %v, %v", c.in, got, err)
+		}
+	}
+	if _, err := ParseKind("nope"); err == nil {
+		t.Error("ParseKind accepted garbage")
+	}
+	if Pmake.String() != "Pmake" || Multpgm.String() != "Multpgm" || Oracle.String() != "Oracle" {
+		t.Error("kind names wrong")
+	}
+}
+
+// TestOracleOpBreakdown logs where Oracle's kernel time goes (calibration
+// aid; always passes).
+func TestOracleOpBreakdown(t *testing.T) {
+	s := runKind(t, Oracle, 4_000_000)
+	for op := kernel.OpKind(0); op < kernel.NumOps; op++ {
+		t.Logf("%-22s %8d cycles  (%d invocations)", op, s.OpCycles[op],
+			s.K.Counters().Sub(s.BaseCounters).OpCounts[op])
+	}
+}
+
+// TestMultpgmOpBreakdown logs the Figure 2 operation mix (calibration aid).
+func TestMultpgmOpBreakdown(t *testing.T) {
+	s := runKind(t, Multpgm, 8_000_000)
+	ops := s.K.Counters().Sub(s.BaseCounters).OpCounts
+	var tot int64
+	for op := kernel.OpKind(0); op < kernel.NumOps; op++ {
+		if op == kernel.OpCheapTLB {
+			continue // UTLB faults are not OS invocations (Figure 2)
+		}
+		tot += ops[op]
+	}
+	for op := kernel.OpKind(0); op < kernel.NumOps; op++ {
+		pct := 0.0
+		if tot > 0 && op != kernel.OpCheapTLB {
+			pct = 100 * float64(ops[op]) / float64(tot)
+		}
+		t.Logf("%-22s %6d  %5.1f%%  (%8d cycles)", op, ops[op], pct, s.OpCycles[op])
+	}
+	t.Logf("total invocations %d over %d cycles/cpu → one per %.2f ms (machine)",
+		tot, s.Cfg.Window, float64(s.Cfg.Window)/float64(tot)*4*30/1e6)
+}
+
+// TestMp3dLockContention logs user-lock stats (calibration aid).
+func TestMp3dLockContention(t *testing.T) {
+	s := runKind(t, Multpgm, 8_000_000)
+	for _, l := range s.K.UserLocks {
+		st := l.ComputeStats()
+		t.Logf("%-14s acq=%6d failed=%5.1f%% between=%.0f",
+			st.Name, st.Acquires, st.PctFailed, st.CyclesBetweenAcq)
+	}
+}
+
+// TestBarrierDynamics logs mp3d barrier progress (calibration aid).
+func TestBarrierDynamics(t *testing.T) {
+	s := runKind(t, Multpgm, 8_000_000)
+	t.Logf("barrier generations: %d", lastBarrier.gen)
+	ops := s.K.Counters().Sub(s.BaseCounters).OpCounts
+	t.Logf("sginaps: %d, ctx: %d", ops[kernel.OpSginap],
+		s.K.Counters().Sub(s.BaseCounters).CtxSwitches)
+	// how much CPU do mp3d workers get?
+	for _, p := range s.K.Procs() {
+		if p.Name == "mp3d" {
+			t.Logf("mp3d pid=%d quantumUsed=%d state=%v", p.PID, p.QuantumUsed, p.State)
+		}
+	}
+}
+
+// TestQueueDepth logs the average run-queue depth (calibration aid).
+func TestQueueDepth(t *testing.T) {
+	s := runKind(t, Multpgm, 8_000_000)
+	t.Logf("avg runq depth = %.2f over %d samples", float64(s.QDepthSum)/float64(s.QSamples), s.QSamples)
+	// who is runnable at the end?
+	for _, p := range s.K.Procs() {
+		t.Logf("%-8s pid=%2d state=%d", p.Name, p.PID, p.State)
+	}
+}
+
+func TestOracleStdRuns(t *testing.T) {
+	s := runKind(t, OracleStd, 3_000_000)
+	u, sy, id := timeSplit(s)
+	t.Logf("OracleStd: user=%.1f%% sys=%.1f%% idle=%.1f%%", u, sy, id)
+	if s.K.OpCounts[kernel.OpIOSyscall] == 0 {
+		t.Error("standard TP1 did no I/O")
+	}
+	if OracleStd.String() != "OracleStd" {
+		t.Error("kind name")
+	}
+	if k, err := ParseKind("oraclestd"); err != nil || k != OracleStd {
+		t.Error("ParseKind(oraclestd)")
+	}
+}
