@@ -9,6 +9,8 @@
 //	charos [-exp all|table1|figure1|...|table12] [-window N] [-seed N]
 //	charos -exp figure6            # includes the cache sweeps
 //	charos -exp table1 -window 24000000
+//	charos -exp table1 -check      # run under the invariant checker
+//	charos -exp table1 -check -inject all   # checked fault-injection run
 package main
 
 import (
@@ -20,9 +22,24 @@ import (
 	"repro/internal/arch"
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/inject"
 	"repro/internal/report"
 	"repro/internal/workload"
 )
+
+// reportViolations prints a run's invariant violations to stderr and
+// reports whether there were any.
+func reportViolations(name string, ch *core.Characterization) bool {
+	if ch == nil || ch.Sim.Chk == nil || ch.Sim.Chk.Violations == 0 {
+		return false
+	}
+	fmt.Fprintf(os.Stderr, "%s: %d invariant violations (%d checks)\n",
+		name, ch.Sim.Chk.Violations, ch.Sim.Chk.Checks)
+	for _, e := range ch.CheckErrors {
+		fmt.Fprintf(os.Stderr, "  %v\n", e)
+	}
+	return true
+}
 
 func main() {
 	exp := flag.String("exp", "all", "experiment to reproduce: all, table1, figure1, figure2, figure3, figure4, figure5, figure6, figure7, table3, figure8, table4, table5, table6, table7, figure9, table9, figure10, table10, table11, table12, section6")
@@ -30,7 +47,24 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	ncpu := flag.Int("ncpu", 4, "number of CPUs")
 	affinity := flag.Bool("affinity", false, "enable cache-affinity scheduling")
+	checkFlag := flag.Bool("check", false, "run the invariant checker (shadow memory, coherence, lock discipline)")
+	injectFlag := flag.String("inject", "", "fault-injection modes: evict, jitter, intr, migrate, all, or a comma list")
+	faultSeed := flag.Int64("fault-seed", 0, "fault-injector seed (0 derives one from -seed)")
 	flag.Parse()
+
+	icfg, err := inject.Preset(*injectFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	icfg.Seed = *faultSeed
+	var injectCfg *inject.Config
+	if icfg.Enabled() {
+		injectCfg = &icfg
+		if !*checkFlag {
+			fmt.Fprintln(os.Stderr, "note: -inject without -check perturbs the run unvalidated")
+		}
+	}
 
 	name := strings.ToLower(*exp)
 	cfg := core.Config{
@@ -38,6 +72,8 @@ func main() {
 		Seed:          *seed,
 		NCPU:          *ncpu,
 		Affinity:      *affinity,
+		Check:         *checkFlag,
+		Inject:        injectCfg,
 		CollectIResim: name == "all" || name == "figure6",
 	}
 
@@ -54,9 +90,13 @@ func main() {
 		ch := core.Run(core.Config{
 			Workload: workload.Multpgm, NCPU: 8,
 			Window: arch.Cycles(*window), Seed: *seed,
+			Check: *checkFlag, Inject: injectCfg,
 		})
 		results := cluster.Study(ch.Sim.Mon.Trace(), ch.Sim.K.L, 8, 2)
 		fmt.Print(cluster.Render(results, "Multpgm, 4 clusters of 2"))
+		if reportViolations("section6", ch) {
+			os.Exit(1)
+		}
 		return
 	}
 
@@ -88,12 +128,28 @@ func main() {
 
 	fmt.Fprintf(os.Stderr, "running Pmake, Multpgm and Oracle (window %d cycles ≈ %.0f ms at 33 MHz)...\n",
 		cfg.Window, float64(cfg.Window.NS())/1e6)
+	if injectCfg != nil {
+		fmt.Fprintf(os.Stderr, "fault injection on: %s\n", injectCfg.Modes())
+	}
 	set := report.RunSet(cfg)
 
 	if name == "all" {
 		fmt.Print(report.All(set))
 		fmt.Print(report.Figure6(set))
-		return
+	} else {
+		fmt.Print(sections[name](set))
 	}
-	fmt.Print(sections[name](set))
+	if injectCfg != nil && set.Pmake.Sim.Inj != nil {
+		fmt.Fprintf(os.Stderr, "faults delivered (Pmake): %v\n", set.Pmake.Sim.Inj.Stats)
+	}
+	bad := reportViolations("Pmake", set.Pmake)
+	bad = reportViolations("Multpgm", set.Multpgm) || bad
+	bad = reportViolations("Oracle", set.Oracle) || bad
+	if bad {
+		os.Exit(1)
+	}
+	if cfg.Check {
+		fmt.Fprintf(os.Stderr, "invariant checker: %d checks, 0 violations\n",
+			set.Pmake.Sim.Chk.Checks+set.Multpgm.Sim.Chk.Checks+set.Oracle.Sim.Chk.Checks)
+	}
 }

@@ -24,6 +24,7 @@ func main() {
 	wl := flag.String("workload", "Pmake", "workload: Pmake, Multpgm, Oracle")
 	window := flag.Int64("window", 12_000_000, "traced window in cycles")
 	seed := flag.Int64("seed", 1, "random seed")
+	checkFlag := flag.Bool("check", false, "run the invariant checker (lock discipline included)")
 	flag.Parse()
 
 	kind, err := workload.ParseKind(*wl)
@@ -32,7 +33,7 @@ func main() {
 		os.Exit(2)
 	}
 	fmt.Fprintf(os.Stderr, "running all three workloads for Table 10, %s for the detail dump...\n", kind)
-	set := report.RunSet(core.Config{Window: arch.Cycles(*window), Seed: *seed})
+	set := report.RunSet(core.Config{Window: arch.Cycles(*window), Seed: *seed, Check: *checkFlag})
 	fmt.Print(report.Table10(set))
 	fmt.Print(report.Table11())
 	fmt.Print(report.Table12(set))
@@ -59,4 +60,12 @@ func main() {
 			fmt.Sprintf("%.0f", st.PctCachedVsUncached))
 	}
 	fmt.Print(t.String())
+
+	for _, c := range []*core.Characterization{set.Pmake, set.Multpgm, set.Oracle} {
+		if c.Sim.Chk != nil && c.Sim.Chk.Violations > 0 {
+			fmt.Fprintf(os.Stderr, "%s: %d invariant violations, first: %v\n",
+				c.Cfg.Workload, c.Sim.Chk.Violations, c.CheckErrors[0])
+			os.Exit(1)
+		}
+	}
 }

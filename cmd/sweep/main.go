@@ -25,14 +25,23 @@ func main() {
 	window := flag.Int64("window", 12_000_000, "traced window in cycles")
 	seed := flag.Int64("seed", 1, "random seed")
 	cpus := flag.String("cpus", "2,4,6,8,12,16", "CPU counts for figure11")
+	checkFlag := flag.Bool("check", false, "run the invariant checker alongside the sweep")
 	flag.Parse()
 
 	switch *exp {
 	case "figure6":
 		set := report.RunSet(core.Config{
 			Window: arch.Cycles(*window), Seed: *seed, CollectIResim: true,
+			Check: *checkFlag,
 		})
 		fmt.Print(report.Figure6(set))
+		for _, ch := range []*core.Characterization{set.Pmake, set.Multpgm, set.Oracle} {
+			if ch.Sim.Chk != nil && ch.Sim.Chk.Violations > 0 {
+				fmt.Fprintf(os.Stderr, "%s: %d invariant violations, first: %v\n",
+					ch.Cfg.Workload, ch.Sim.Chk.Violations, ch.CheckErrors[0])
+				os.Exit(1)
+			}
+		}
 	case "figure11":
 		var counts []int
 		for _, part := range strings.Split(*cpus, ",") {

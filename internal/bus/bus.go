@@ -13,8 +13,11 @@
 package bus
 
 import (
+	"math/rand"
+
 	"repro/internal/arch"
 	"repro/internal/cache"
+	"repro/internal/check"
 )
 
 // TxnKind is the type of a bus transaction as seen by the monitor.
@@ -124,7 +127,40 @@ type System struct {
 	// Proto selects invalidate (default) or update coherence.
 	Proto Protocol
 
+	// Check, when non-nil, receives every memory reference and snoop
+	// outcome for invariant validation (System implements check.BusView).
+	Check *check.Checker
+	// Jitter, when non-nil, returns extra latency to add to one
+	// CPU-stalling bus transaction (fault injection).
+	Jitter func() arch.Cycles
+
 	Stats Stats
+}
+
+// NCPUs implements check.BusView.
+func (s *System) NCPUs() int { return s.N }
+
+// DState implements check.BusView: the coherence-level (L2) state of the
+// block containing a in cpu's data hierarchy.
+func (s *System) DState(cpu int, a arch.PAddr) (resident, dirty, shared bool) {
+	l2 := s.D[cpu].L2
+	if !l2.Lookup(a) {
+		return false, false, false
+	}
+	return true, l2.Dirty(a), l2.Shared(a)
+}
+
+// L1Resident implements check.BusView.
+func (s *System) L1Resident(cpu int, a arch.PAddr) bool {
+	return s.D[cpu].L1.Lookup(a)
+}
+
+// jitter draws injected extra latency for one stalling transaction.
+func (s *System) jitter() arch.Cycles {
+	if s.Jitter == nil {
+		return 0
+	}
+	return s.Jitter()
 }
 
 // NewSystem builds the cache complex for n CPUs with the 4D/340 geometry.
@@ -169,12 +205,15 @@ type Outcome struct {
 // time now.
 func (s *System) Fetch(c arch.CPUID, a arch.PAddr, now arch.Cycles) Outcome {
 	hit, _, _ := s.I[c].Access(a, false)
+	if s.Check != nil {
+		s.Check.OnFetch(c, a.Block(), hit, now)
+	}
 	if hit {
 		return Outcome{}
 	}
 	s.Stats.Reads++
 	s.record(Txn{Ticks: TicksOf(now), Addr: a.Block(), CPU: c, Kind: TxnRead})
-	return Outcome{Missed: true, Stall: arch.MissStallCycles}
+	return Outcome{Missed: true, Stall: arch.MissStallCycles + s.jitter()}
 }
 
 // Read performs a data load of the block containing a by CPU c.
@@ -182,8 +221,14 @@ func (s *System) Read(c arch.CPUID, a arch.PAddr, now arch.Cycles) Outcome {
 	res := s.D[c].Access(a, false)
 	switch res.Result {
 	case cache.DataL1Hit:
+		if s.Check != nil {
+			s.Check.OnData(c, a.Block(), false, check.LevelL1, now)
+		}
 		return Outcome{}
 	case cache.DataL2Hit:
+		if s.Check != nil {
+			s.Check.OnData(c, a.Block(), false, check.LevelL2, now)
+		}
 		return Outcome{L2Hit: true, Stall: arch.L1MissL2HitCycles}
 	}
 	// Bus read: snoop remote caches.
@@ -210,7 +255,10 @@ func (s *System) Read(c arch.CPUID, a arch.PAddr, now arch.Cycles) Outcome {
 		}
 	}
 	s.D[c].L2.SetShared(a, shared)
-	return Outcome{Missed: true, Stall: arch.MissStallCycles}
+	if s.Check != nil {
+		s.Check.OnData(c, a.Block(), false, check.LevelFill, now)
+	}
+	return Outcome{Missed: true, Stall: arch.MissStallCycles + s.jitter()}
 }
 
 // Write performs a data store to the block containing a by CPU c.
@@ -222,8 +270,10 @@ func (s *System) Write(c arch.CPUID, a arch.PAddr, now arch.Cycles) Outcome {
 	switch res.Result {
 	case cache.DataL1Hit, cache.DataL2Hit:
 		out := Outcome{L2Hit: res.Result == cache.DataL2Hit}
+		lvl := check.LevelL1
 		if out.L2Hit {
 			out.Stall = arch.L1MissL2HitCycles
+			lvl = check.LevelL2
 		}
 		if wasShared {
 			if s.Proto == WriteUpdate {
@@ -235,7 +285,10 @@ func (s *System) Write(c arch.CPUID, a arch.PAddr, now arch.Cycles) Outcome {
 				s.D[c].L2.SetShared(a, true)
 				s.D[c].L2.Clean(a)
 				out.Upgraded = true
-				out.Stall += arch.MissStallCycles
+				out.Stall += arch.MissStallCycles + s.jitter()
+				if s.Check != nil {
+					s.Check.OnData(c, a.Block(), true, lvl, now)
+				}
 				return out
 			}
 			s.Stats.Upgrades++
@@ -243,7 +296,10 @@ func (s *System) Write(c arch.CPUID, a arch.PAddr, now arch.Cycles) Outcome {
 			s.invalidateRemote(c, a)
 			s.D[c].L2.SetShared(a, false)
 			out.Upgraded = true
-			out.Stall += arch.MissStallCycles
+			out.Stall += arch.MissStallCycles + s.jitter()
+		}
+		if s.Check != nil {
+			s.Check.OnData(c, a.Block(), true, lvl, now)
 		}
 		return out
 	}
@@ -274,7 +330,10 @@ func (s *System) Write(c arch.CPUID, a arch.PAddr, now arch.Cycles) Outcome {
 		if shared {
 			s.D[c].L2.Clean(a) // memory holds the broadcast data
 		}
-		return Outcome{Missed: true, Stall: arch.MissStallCycles}
+		if s.Check != nil {
+			s.Check.OnData(c, a.Block(), true, check.LevelFill, now)
+		}
+		return Outcome{Missed: true, Stall: arch.MissStallCycles + s.jitter()}
 	}
 	// Write miss: read-exclusive (invalidate protocol).
 	s.Stats.ReadExs++
@@ -285,7 +344,10 @@ func (s *System) Write(c arch.CPUID, a arch.PAddr, now arch.Cycles) Outcome {
 	}
 	s.invalidateRemote(c, a)
 	s.D[c].L2.SetShared(a, false)
-	return Outcome{Missed: true, Stall: arch.MissStallCycles}
+	if s.Check != nil {
+		s.Check.OnData(c, a.Block(), true, check.LevelFill, now)
+	}
+	return Outcome{Missed: true, Stall: arch.MissStallCycles + s.jitter()}
 }
 
 func (s *System) invalidateRemote(c arch.CPUID, a arch.PAddr) {
@@ -306,7 +368,7 @@ func (s *System) Uncached(c arch.CPUID, a arch.PAddr, now arch.Cycles, stallFree
 	if stallFree {
 		return Outcome{}
 	}
-	return Outcome{Missed: true, Stall: arch.MissStallCycles}
+	return Outcome{Missed: true, Stall: arch.MissStallCycles + s.jitter()}
 }
 
 // Bypass performs a block transfer access that deliberately bypasses the
@@ -332,7 +394,13 @@ func (s *System) Bypass(c arch.CPUID, a arch.PAddr, blocks int, write bool, now 
 			}
 		}
 	}
-	return Outcome{Missed: true, Stall: arch.MissStallCycles}
+	if s.Check != nil {
+		for i := 0; i < blocks; i++ {
+			ba := (a + arch.PAddr(i*arch.BlockSize)).Block()
+			s.Check.OnBypass(c, ba, write, now)
+		}
+	}
+	return Outcome{Missed: true, Stall: arch.MissStallCycles + s.jitter()}
 }
 
 // InvalidateCodeFrame flushes ALL instruction caches. The machine has no
@@ -346,6 +414,59 @@ func (s *System) InvalidateCodeFrame(f uint32) int {
 	for q := 0; q < s.N; q++ {
 		n += s.I[q].ResidentBlocks()
 		s.I[q].InvalidateAll()
+	}
+	if s.Check != nil {
+		s.Check.OnIFlush(-1)
+	}
+	return n
+}
+
+// InjectEvict forcibly evicts the block containing a from CPU c's data
+// hierarchy (fault injection). A dirty victim is written back — the
+// injector may displace data, never destroy it. It reports whether a
+// block was actually evicted.
+func (s *System) InjectEvict(c arch.CPUID, a arch.PAddr, now arch.Cycles) bool {
+	d := s.D[c]
+	if !d.Resident(a) {
+		return false
+	}
+	dirty := d.L2.Dirty(a)
+	d.Invalidate(a)
+	if dirty {
+		s.Stats.WriteBacks++
+		s.record(Txn{Ticks: TicksOf(now), Addr: a.Block(), CPU: c, Kind: TxnWriteBack})
+	}
+	if s.Check != nil {
+		s.Check.OnEvict(c, a.Block(), now)
+	}
+	return true
+}
+
+// InjectEvictRandom evicts up to burst randomly chosen resident blocks
+// from CPU c's data hierarchy, drawing victims from rng. It returns how
+// many blocks were evicted.
+func (s *System) InjectEvictRandom(rng *rand.Rand, c arch.CPUID, burst int, now arch.Cycles) int {
+	l2 := s.D[c].L2
+	lines := l2.NumLines()
+	n := 0
+	for i := 0; i < burst; i++ {
+		if b, ok := l2.LineAt(rng.Intn(lines)); ok {
+			if s.InjectEvict(c, b, now) {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// InjectIFlush forcibly flushes CPU c's instruction cache (fault
+// injection), telling the checker so stale-fetch tracking stays exact.
+// It returns the number of blocks flushed.
+func (s *System) InjectIFlush(c arch.CPUID) int {
+	n := s.I[c].ResidentBlocks()
+	s.I[c].InvalidateAll()
+	if s.Check != nil {
+		s.Check.OnIFlush(int(c))
 	}
 	return n
 }

@@ -212,6 +212,19 @@ func (c *Cache) InvalidateAll() {
 	}
 }
 
+// NumLines returns the total number of lines, valid or not.
+func (c *Cache) NumLines() int { return len(c.valid) }
+
+// LineAt returns the block resident in line i (ok=false for an invalid
+// line or out-of-range index). The fault injector uses it to pick random
+// eviction victims.
+func (c *Cache) LineAt(i int) (block arch.PAddr, ok bool) {
+	if i < 0 || i >= len(c.valid) || !c.valid[i] {
+		return 0, false
+	}
+	return c.tag[i], true
+}
+
 // ResidentBlocks returns the number of valid lines (used by tests and the
 // monitor's perturbation accounting).
 func (c *Cache) ResidentBlocks() int {

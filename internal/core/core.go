@@ -12,6 +12,8 @@ package core
 import (
 	"repro/internal/arch"
 	"repro/internal/cachesweep"
+	"repro/internal/check"
+	"repro/internal/inject"
 	"repro/internal/kernel"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -49,6 +51,12 @@ type Config struct {
 	// CollectDResim records the data-miss stream for the §4.2.2
 	// data-cache sweep.
 	CollectDResim bool
+	// Check enables the invariant checker (shadow memory, coherence,
+	// lock discipline); violations land in Characterization.CheckErrors.
+	Check bool
+	// Inject, when non-nil and enabled, runs the workload under
+	// deterministic fault injection.
+	Inject *inject.Config
 }
 
 func (c Config) withDefaults() Config {
@@ -74,6 +82,9 @@ type Characterization struct {
 	Trace *trace.Result // nil when Cfg.NoTrace
 	// Ops are the traced-window kernel counters.
 	Ops kernel.Counters
+	// CheckErrors are the invariant violations found when Cfg.Check was
+	// set (nil/empty on a clean run).
+	CheckErrors []*check.CheckError
 }
 
 // Run executes the full pipeline.
@@ -86,15 +97,18 @@ func Run(cfg Config) *Characterization {
 		Warmup:         cfg.Warmup,
 		NoTrace:        cfg.NoTrace,
 		UpdateProtocol: cfg.UpdateProtocol,
+		Check:          cfg.Check,
+		Inject:         cfg.Inject,
 		Kernel: kernel.Config{Affinity: cfg.Affinity, OptimizedText: cfg.OptimizedText,
 			BlockOpBypass: cfg.BlockOpBypass},
 	})
 	workload.Setup(s.Kernel(), cfg.Workload)
 	s.Run()
 	ch := &Characterization{
-		Cfg: cfg,
-		Sim: s,
-		Ops: s.K.Counters().Sub(s.BaseCounters),
+		Cfg:         cfg,
+		Sim:         s,
+		Ops:         s.K.Counters().Sub(s.BaseCounters),
+		CheckErrors: s.CheckErrors(),
 	}
 	if !cfg.NoTrace {
 		cl := trace.NewClassifier(s.K.T, s.K.L, cfg.NCPU)

@@ -16,7 +16,14 @@ func small(t *testing.T, cfg Config) *Characterization {
 	if cfg.Seed == 0 {
 		cfg.Seed = 3
 	}
-	return Run(cfg)
+	// The invariant checker rides along on every test run; benchmarks
+	// and production runs leave it off.
+	cfg.Check = true
+	ch := Run(cfg)
+	if n := len(ch.CheckErrors); n > 0 {
+		t.Fatalf("invariant checker found %d violations, first: %v", n, ch.CheckErrors[0])
+	}
+	return ch
 }
 
 func TestRunProducesTraceAndCounters(t *testing.T) {

@@ -1,0 +1,145 @@
+package inject
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+)
+
+func TestPresetModes(t *testing.T) {
+	cases := []struct {
+		modes   string
+		enabled bool
+		wantErr bool
+	}{
+		{"", false, false},
+		{"none", false, false},
+		{"evict", true, false},
+		{"jitter", true, false},
+		{"intr", true, false},
+		{"migrate", true, false},
+		{"all", true, false},
+		{"evict,intr", true, false},
+		{"evict, migrate", true, false}, // spaces tolerated
+		{"bogus", false, true},
+		{"evict,bogus", false, true},
+	}
+	for _, tc := range cases {
+		cfg, err := Preset(tc.modes)
+		if (err != nil) != tc.wantErr {
+			t.Errorf("Preset(%q) error = %v, wantErr %v", tc.modes, err, tc.wantErr)
+			continue
+		}
+		if err == nil && cfg.Enabled() != tc.enabled {
+			t.Errorf("Preset(%q).Enabled() = %v, want %v", tc.modes, cfg.Enabled(), tc.enabled)
+		}
+	}
+}
+
+func TestPresetCombination(t *testing.T) {
+	cfg, err := Preset("evict,intr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.EvictPeriod == 0 || cfg.IntrPeriod == 0 {
+		t.Errorf("combined preset missing modes: %+v", cfg)
+	}
+	if cfg.JitterPct != 0 || cfg.MigratePeriod != 0 {
+		t.Errorf("combined preset enabled unrequested modes: %+v", cfg)
+	}
+	if cfg.Modes() != "evict,intr" {
+		t.Errorf("Modes() = %q", cfg.Modes())
+	}
+}
+
+// TestScheduleDeterminism: two injectors with the same seed deliver the
+// same fault schedule; a different seed diverges.
+func TestScheduleDeterminism(t *testing.T) {
+	cfg, _ := Preset("all")
+	cfg.Seed = 42
+	schedule := func(seed int64) []int {
+		c := cfg
+		c.Seed = seed
+		in := New(c, 2)
+		var fires []int
+		for now := int64(0); now < 400_000; now += 500 {
+			for cpu := 0; cpu < 2; cpu++ {
+				if in.DueEvict(cpu, arch.Cycles(now)) {
+					fires = append(fires, int(now), cpu, 0)
+				}
+				if in.DueIntr(cpu, arch.Cycles(now)) {
+					fires = append(fires, int(now), cpu, 1)
+				}
+				if in.DueMigrate(cpu, arch.Cycles(now)) {
+					fires = append(fires, int(now), cpu, 2)
+				}
+			}
+		}
+		return fires
+	}
+	a, b := schedule(42), schedule(42)
+	if len(a) == 0 {
+		t.Fatal("no faults scheduled")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("same seed, different schedules: %d vs %d fires", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedules diverge at %d", i)
+		}
+	}
+	c := schedule(43)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical schedules")
+	}
+}
+
+// TestJitterBounded: jitter only stretches transactions, never negative,
+// never past the cap, and a zero config never jitters.
+func TestJitterBounded(t *testing.T) {
+	cfg, _ := Preset("jitter")
+	cfg.Seed = 7
+	in := New(cfg, 1)
+	hits := 0
+	for i := 0; i < 10_000; i++ {
+		d := in.Jitter()
+		if d < 0 || d > cfg.JitterMax {
+			t.Fatalf("jitter %d outside [0, %d]", d, cfg.JitterMax)
+		}
+		if d > 0 {
+			hits++
+		}
+	}
+	if hits == 0 {
+		t.Error("jitter never fired")
+	}
+	if in.Stats.JitteredTxns != int64(hits) {
+		t.Errorf("stats count %d != observed %d", in.Stats.JitteredTxns, hits)
+	}
+	off := New(Config{Seed: 7}, 1)
+	for i := 0; i < 100; i++ {
+		if off.Jitter() != 0 {
+			t.Fatal("disabled injector jittered")
+		}
+	}
+}
+
+func TestDisabledModesNeverFire(t *testing.T) {
+	in := New(Config{Seed: 3}, 2) // no periods set
+	for now := int64(0); now < 1_000_000; now += 1000 {
+		if in.DueEvict(0, arch.Cycles(now)) || in.DueIFlush(0, arch.Cycles(now)) ||
+			in.DueIntr(1, arch.Cycles(now)) || in.DueMigrate(1, arch.Cycles(now)) {
+			t.Fatal("disabled mode fired")
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package klock
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/check"
+)
+
+// mustPanicCheckError runs f and returns the *check.CheckError it panics
+// with, failing the test on no panic or a different panic value.
+func mustPanicCheckError(t *testing.T, f func()) *check.CheckError {
+	t.Helper()
+	var e *check.CheckError
+	func() {
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatal("no panic")
+			}
+			ce, ok := r.(*check.CheckError)
+			if !ok {
+				t.Fatalf("panic value %T (%v), want *check.CheckError", r, r)
+			}
+			e = ce
+		}()
+		f()
+	}()
+	return e
+}
+
+func TestReleaseNotHeldIsCheckError(t *testing.T) {
+	l := NewLock("Memlock")
+	e := mustPanicCheckError(t, func() { l.Release(1, 500) })
+	if e.Kind != check.LockViolation || e.Lock != "Memlock" || e.CPU != 1 || e.Cycle != 500 {
+		t.Fatalf("wrong diagnostics: %v", e)
+	}
+	if e.HasOwner {
+		t.Errorf("never-acquired lock should have no owner provenance: %v", e)
+	}
+}
+
+func TestWrongCPUReleaseNamesOwner(t *testing.T) {
+	l := NewLock("Runqlk")
+	l.Acquire(2, 100)
+	l.NoteOwner("setrq")
+	e := mustPanicCheckError(t, func() { l.Release(0, 300) })
+	if e.Kind != check.LockViolation || e.CPU != 0 {
+		t.Fatalf("wrong diagnostics: %v", e)
+	}
+	if !e.HasOwner || e.Owner != 2 || e.OwnerCycle != 100 || e.OwnerRoutine != "setrq" {
+		t.Fatalf("owner provenance wrong: %v", e)
+	}
+	if s := e.Error(); !strings.Contains(s, "setrq") || !strings.Contains(s, "CPU 2") {
+		t.Errorf("rendered error lacks owner: %s", s)
+	}
+}
+
+func TestKernelDoubleAcquireIsCheckError(t *testing.T) {
+	l := NewLock("Calock")
+	l.Acquire(1, 100)
+	l.NoteOwner("softclock")
+	e := mustPanicCheckError(t, func() { l.Acquire(1, 200) })
+	if e.Kind != check.LockViolation || e.Lock != "Calock" || e.Cycle != 200 {
+		t.Fatalf("wrong diagnostics: %v", e)
+	}
+	if !e.HasOwner || e.OwnerCycle != 100 || e.OwnerRoutine != "softclock" {
+		t.Fatalf("acquisition provenance wrong: %v", e)
+	}
+}
+
+// TestUserLockSameCPUPendingHold covers the preempted-holder case: a user
+// lock still held by a process that lost its CPU must look contended to
+// the next process on that same CPU, not be handed out a second time.
+func TestUserLockSameCPUPendingHold(t *testing.T) {
+	l := NewLock("Ulock")
+	l.User = true
+	l.Acquire(0, 100) // holder preempted while holding
+	at, ok, spins := l.TryAcquire(0, 200, 500)
+	if ok {
+		t.Fatal("second process acquired a held user lock on the same CPU")
+	}
+	if at != 700 || spins == 0 {
+		t.Errorf("failed try should spin out the deadline: at=%d spins=%d", at, spins)
+	}
+	// The original holder can still release; a double-hand-out would
+	// have corrupted heldBy and made this panic.
+	l.Release(0, 900)
+}

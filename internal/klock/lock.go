@@ -16,6 +16,7 @@ import (
 	"sort"
 
 	"repro/internal/arch"
+	"repro/internal/check"
 )
 
 // Cost model for the synchronization bus. Each test-and-set style attempt
@@ -72,6 +73,10 @@ type Lock struct {
 	// (unreleased) hold; transferred to its interval at Release.
 	pendingWaiters int
 
+	// ownerRoutine is the kernel routine that performed the most recent
+	// acquire (diagnostics only; see NoteOwner).
+	ownerRoutine string
+
 	log []Event
 
 	acquires          int64
@@ -116,6 +121,15 @@ func (l *Lock) heldAt(t arch.Cycles, cpu arch.CPUID) *interval {
 // another, so every conflicting hold is already recorded by the time a
 // later-stepped CPU acquires (see DESIGN.md §4).
 func (l *Lock) Acquire(cpu arch.CPUID, now arch.Cycles) (acquiredAt arch.Cycles, spins int) {
+	if l.held && !l.User && l.heldBy == cpu {
+		// A kernel spinlock re-acquired by its holder would spin on
+		// itself forever.
+		panic(&check.CheckError{
+			Kind: check.LockViolation, Cycle: now, CPU: cpu, Lock: l.Name,
+			Detail: "double acquire of a held spinlock by the same CPU (self-deadlock)",
+			Owner:  l.heldBy, OwnerCycle: l.heldSince, OwnerRoutine: l.ownerRoutine, HasOwner: true,
+		})
+	}
 	t := now
 	failedFirst := false
 	// A pending (unreleased) hold by another CPU can only be a user
@@ -173,10 +187,11 @@ func (l *Lock) TryAcquire(cpu arch.CPUID, now, maxWait arch.Cycles) (acquiredAt 
 	t := now
 	deadline := now + maxWait
 	failedFirst := false
-	// A pending hold by another CPU (a user-lock holder that may have
-	// been preempted): its release time is unknown, so spin out the
-	// deadline and give up — the sginap path.
-	if l.held && l.heldBy != cpu {
+	// A pending hold (a user-lock holder that may have been preempted —
+	// possibly by the very process now trying, so a same-CPU pending
+	// hold is just as contended): its release time is unknown, so spin
+	// out the deadline and give up — the sginap path.
+	if l.held && (l.User || l.heldBy != cpu) {
 		l.failed++
 		l.noteWaiterOnPending()
 		spent := int(maxWait/SpinGapCycles) + 1
@@ -228,10 +243,22 @@ func (l *Lock) TryAcquire(cpu arch.CPUID, now, maxWait arch.Cycles) (acquiredAt 
 // (which is exactly why the synchronization library falls back to sginap).
 func (l *Lock) Release(cpu arch.CPUID, now arch.Cycles) {
 	if !l.held {
-		panic("klock: release of lock not held: " + l.Name)
+		e := &check.CheckError{
+			Kind: check.LockViolation, Cycle: now, CPU: cpu, Lock: l.Name,
+			Detail: "release of a lock that is not held",
+		}
+		if l.acquires > 0 {
+			// Last-holder provenance: heldBy/heldSince survive Release.
+			e.Owner, e.OwnerCycle, e.OwnerRoutine, e.HasOwner = l.heldBy, l.heldSince, l.ownerRoutine, true
+		}
+		panic(e)
 	}
 	if !l.User && l.heldBy != cpu {
-		panic("klock: kernel lock released by wrong CPU: " + l.Name)
+		panic(&check.CheckError{
+			Kind: check.LockViolation, Cycle: now, CPU: cpu, Lock: l.Name,
+			Detail: "kernel spinlock released by a CPU that does not hold it",
+			Owner:  l.heldBy, OwnerCycle: l.heldSince, OwnerRoutine: l.ownerRoutine, HasOwner: true,
+		})
 	}
 	end := now
 	if end <= l.heldSince {
@@ -259,6 +286,10 @@ func (l *Lock) noteWaiterOnPending() {
 // Held reports whether the lock is in a pending hold (between Acquire and
 // Release on the currently-stepped CPU).
 func (l *Lock) Held() bool { return l.held }
+
+// NoteOwner records the kernel routine that performed the most recent
+// acquire, so a later discipline violation can name it.
+func (l *Lock) NoteOwner(routine string) { l.ownerRoutine = routine }
 
 // ResetStats clears the statistics and the acquire log (but not the
 // hold-interval ring, which contention detection still needs). The

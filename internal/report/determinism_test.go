@@ -1,0 +1,40 @@
+package report
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestReportsByteIdenticalPerSeed is the replay guarantee the fault
+// injector depends on: two runs with the same seed must render every
+// table and figure byte-for-byte identically, so an injected-fault
+// failure can always be reproduced from its seed alone.
+func TestReportsByteIdenticalPerSeed(t *testing.T) {
+	run := func() string {
+		return All(RunSet(core.Config{Window: 600_000, Warmup: 300_000, Seed: 11, Check: true}))
+	}
+	a, b := run(), run()
+	if a != b {
+		// Find the first divergent line for a useful failure message.
+		la, lb := splitLines(a), splitLines(b)
+		for i := 0; i < len(la) && i < len(lb); i++ {
+			if la[i] != lb[i] {
+				t.Fatalf("reports diverge at line %d:\n  run1: %s\n  run2: %s", i+1, la[i], lb[i])
+			}
+		}
+		t.Fatalf("reports differ in length: %d vs %d bytes", len(a), len(b))
+	}
+}
+
+func splitLines(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	return append(out, s[start:])
+}

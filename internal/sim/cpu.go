@@ -184,11 +184,24 @@ func (c *CPU) UncachedRead(a arch.PAddr) {
 // Advance charges pure compute cycles.
 func (c *CPU) Advance(cy arch.Cycles) { c.adv(cy) }
 
+// RoutineName returns the kernel routine currently executing on this CPU
+// (empty outside the kernel), for checker diagnostics.
+func (c *CPU) RoutineName() string {
+	if c.curRoutine == nil {
+		return ""
+	}
+	return c.curRoutine.Name
+}
+
 // Acquire spins on a kernel lock via the synchronization bus. Wait time is
 // charged as sync cycles on top of the clock advance.
 func (c *CPU) Acquire(l *klock.Lock) {
 	c.execQuiet(c.sim.K.T.R("lock_acquire"))
+	if chk := c.sim.Chk; chk != nil {
+		chk.OnAcquire(c.id, l, l.Name, l.User, c.now)
+	}
 	at, _ := l.Acquire(c.id, c.now)
+	l.NoteOwner(c.RoutineName())
 	wait := at - c.now
 	if wait > 0 {
 		c.adv(wait) // spinning on the sync bus
@@ -201,6 +214,9 @@ func (c *CPU) Acquire(l *klock.Lock) {
 // Release frees a kernel lock.
 func (c *CPU) Release(l *klock.Lock) {
 	c.execQuiet(c.sim.K.T.R("lock_release"))
+	if chk := c.sim.Chk; chk != nil {
+		chk.OnRelease(c.id, l, l.Name, l.User, c.now)
+	}
 	l.Release(c.id, c.now)
 	cost := arch.Cycles(klock.ReleaseCycles)
 	c.adv(cost)

@@ -3,6 +3,8 @@ package sim
 import (
 	"repro/internal/arch"
 	"repro/internal/bus"
+	"repro/internal/check"
+	"repro/internal/inject"
 	"repro/internal/kernel"
 	"repro/internal/monitor"
 	"repro/internal/tlb"
@@ -34,6 +36,15 @@ type Config struct {
 	// UpdateProtocol switches the bus to write-update coherence (the
 	// protocol ablation).
 	UpdateProtocol bool
+	// Check enables the invariant checker (shadow memory, coherence,
+	// lock discipline). Off by default: it costs time and memory.
+	Check bool
+	// CheckFailFast makes the first violation panic instead of being
+	// collected (useful under a debugger).
+	CheckFailFast bool
+	// Inject, when non-nil and enabled, perturbs the run with
+	// deterministic faults.
+	Inject *inject.Config
 	// Kernel carries kernel tuning; NCPU and Seed are propagated.
 	Kernel kernel.Config
 }
@@ -74,6 +85,10 @@ type Simulator struct {
 	Bus  *bus.System
 	Mon  *monitor.Monitor
 	CPUs []*CPU
+	// Chk is the invariant checker (nil unless Cfg.Check).
+	Chk *check.Checker
+	// Inj is the fault injector (nil unless Cfg.Inject is enabled).
+	Inj *inject.Injector
 
 	traceEscapes bool
 	end          arch.Cycles
@@ -110,6 +125,22 @@ func New(cfg Config) *Simulator {
 	if cfg.UpdateProtocol {
 		s.Bus.Proto = bus.WriteUpdate
 	}
+	if cfg.Check {
+		s.Chk = check.New(s.Bus)
+		s.Chk.FailFast = cfg.CheckFailFast
+		s.Chk.RoutineOf = func(q arch.CPUID) string { return s.CPUs[q].RoutineName() }
+		s.Bus.Check = s.Chk
+	}
+	if cfg.Inject != nil && cfg.Inject.Enabled() {
+		icfg := *cfg.Inject
+		if icfg.Seed == 0 {
+			// Derive a private fault seed from the run seed so every
+			// injected run replays from (-seed, -inject) alone.
+			icfg.Seed = cfg.Seed*1_000_003 + 77
+		}
+		s.Inj = inject.New(icfg, cfg.NCPU)
+		s.Bus.Jitter = s.Inj.Jitter
+	}
 	s.CPUs = make([]*CPU, cfg.NCPU)
 	for i := range s.CPUs {
 		s.CPUs[i] = &CPU{
@@ -125,6 +156,16 @@ func New(cfg Config) *Simulator {
 
 // Kernel returns the kernel instance for workload setup.
 func (s *Simulator) Kernel() *kernel.Kernel { return s.K }
+
+// CheckErrors returns the invariant violations collected so far (nil when
+// the checker is disabled; see check.Checker.Violations for the full
+// count when more than the cap occurred).
+func (s *Simulator) CheckErrors() []*check.CheckError {
+	if s.Chk == nil {
+		return nil
+	}
+	return s.Chk.Errors()
+}
 
 // Run executes warmup plus the traced window.
 func (s *Simulator) Run() {
@@ -206,6 +247,35 @@ func (s *Simulator) step(c *CPU) {
 		s.Mon.Dump()
 		c.Escape(monitor.EvResume)
 	}
+	// Fault injection: deterministic perturbations delivered at step
+	// boundaries, where an interrupt could also arrive. Faults may move
+	// performance counters; the checker proves they never move
+	// correctness.
+	if in := s.Inj; in != nil {
+		if in.DueEvict(int(c.id), c.now) {
+			in.Stats.Evictions += int64(s.Bus.InjectEvictRandom(in.Rng(), c.id, in.Cfg.EvictBurst, c.now))
+		}
+		if in.DueIFlush(int(c.id), c.now) {
+			in.Stats.IFlushes++
+			s.Bus.InjectIFlush(c.id)
+		}
+		if in.DueIntr(int(c.id), c.now) {
+			in.Stats.ExtraInterrupts++
+			s.interrupt(c, kernel.IntrNet, func() { s.K.NetIntr(c) })
+			return
+		}
+		if c.cur != nil && in.DueMigrate(int(c.id), c.now) {
+			// Preempt the running process and requeue it; whichever CPU
+			// picks it up next refills its cache footprint from scratch.
+			in.Stats.ForcedMigrations++
+			pr := c.cur
+			s.beginOS(c, kernel.OpOtherSyscall)
+			s.K.EnterException(c, pr)
+			c.cur = nil
+			s.scheduleNext(c, pr, true)
+			return
+		}
+	}
 	// Asynchronous interrupts for this CPU.
 	if ev, ok := s.K.PopDueEventFor(c.id, c.now); ok {
 		s.interrupt(c, ev.Kind, func() {
@@ -286,6 +356,20 @@ func (s *Simulator) enterIdle(c *CPU) {
 	c.cur = nil
 }
 
+// intrEnter/intrExit tell the checker an interrupt is being accepted and
+// has returned, so the lock/interrupt-masking invariant can be verified.
+func (s *Simulator) intrEnter(c *CPU) {
+	if s.Chk != nil {
+		s.Chk.OnInterruptEnter(c.id, c.now)
+	}
+}
+
+func (s *Simulator) intrExit(c *CPU) {
+	if s.Chk != nil {
+		s.Chk.OnInterruptExit(c.id)
+	}
+}
+
 // interrupt wraps an interrupt handler in the right trace events for the
 // CPU's current state (user mode or inside the idle loop).
 func (s *Simulator) interrupt(c *CPU, kind kernel.IntrKind, handler func()) {
@@ -295,7 +379,9 @@ func (s *Simulator) interrupt(c *CPU, kind kernel.IntrKind, handler func()) {
 		c.Escape(monitor.EvEnterIntr, uint32(kind))
 		c.mode = arch.ModeKernel
 		start := c.now
+		s.intrEnter(c)
 		handler()
+		s.intrExit(c)
 		s.OpCycles[kernel.OpInterrupt] += c.now - start
 		c.Escape(monitor.EvExitIntr)
 		if s.K.RunnableCount() > 0 {
@@ -310,8 +396,10 @@ func (s *Simulator) interrupt(c *CPU, kind kernel.IntrKind, handler func()) {
 	pr := c.cur
 	s.beginOS(c, kernel.OpInterrupt)
 	c.Escape(monitor.EvEnterIntr, uint32(kind))
+	s.intrEnter(c)
 	s.K.EnterException(c, pr)
 	handler()
+	s.intrExit(c)
 	c.Escape(monitor.EvExitIntr)
 	s.K.ExitException(c, pr)
 	s.endOS(c)
@@ -326,7 +414,9 @@ func (s *Simulator) clockTick(c *CPU) {
 		c.Escape(monitor.EvEnterIntr, uint32(kernel.IntrClock))
 		c.mode = arch.ModeKernel
 		start := c.now
+		s.intrEnter(c)
 		s.K.ClockIntr(c, nil, c.now)
+		s.intrExit(c)
 		s.OpCycles[kernel.OpInterrupt] += c.now - start
 		c.Escape(monitor.EvExitIntr)
 		if s.K.RunnableCount() > 0 {
@@ -341,8 +431,10 @@ func (s *Simulator) clockTick(c *CPU) {
 	pr := c.cur
 	s.beginOS(c, kernel.OpInterrupt)
 	c.Escape(monitor.EvEnterIntr, uint32(kernel.IntrClock))
+	s.intrEnter(c)
 	s.K.EnterException(c, pr)
 	resched := s.K.ClockIntr(c, pr, c.now)
+	s.intrExit(c)
 	c.Escape(monitor.EvExitIntr)
 	if resched {
 		c.cur = nil

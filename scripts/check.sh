@@ -1,0 +1,20 @@
+#!/bin/sh
+# Tier-1 verification: build, vet, full test suite with the race detector,
+# then a checked fault-injection smoke run. Keep this green before merging.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go test -race ./..."
+go test -race ./...
+
+echo "== checked fault-injection smoke (charos -check -inject all)"
+go run ./cmd/charos -exp table1 -window 2000000 -check -inject all >/dev/null
+
+echo "ok"
