@@ -17,9 +17,21 @@ import (
 	"repro/internal/kmem"
 	"repro/internal/metrics"
 	"repro/internal/report"
+	"repro/internal/runner"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
+
+// runPair fans a pair of independent configurations (an ablation and its
+// baseline) across the worker pool.
+func runPair(b *testing.B, a, c core.Config) (*core.Characterization, *core.Characterization) {
+	b.Helper()
+	var res []runner.Result
+	for i := 0; i < b.N; i++ {
+		res, _ = runner.Experiments([]core.Config{a, c}, runner.Options{})
+	}
+	return res[0].Ch, res[1].Ch
+}
 
 // benchWindow keeps one pipeline iteration around 300 ms of wall time.
 const benchWindow = 4_000_000
@@ -300,10 +312,16 @@ func BenchmarkFigure9_Oracle(b *testing.B)  { benchFigure9(b, workload.Oracle) }
 
 func BenchmarkTable9_All(b *testing.B) {
 	var osTot, instr, mig, blk float64
+	kinds := []workload.Kind{workload.Pmake, workload.Multpgm, workload.Oracle}
+	cfgs := make([]core.Config, len(kinds))
+	for i, kind := range kinds {
+		cfgs[i] = core.Config{Workload: kind, Window: benchWindow, Seed: 1}
+	}
 	for i := 0; i < b.N; i++ {
 		osTot, instr, mig, blk = 0, 0, 0, 0
-		for _, kind := range []workload.Kind{workload.Pmake, workload.Multpgm, workload.Oracle} {
-			ch := core.Run(core.Config{Workload: kind, Window: benchWindow, Seed: 1})
+		res, _ := runner.Experiments(cfgs, runner.Options{})
+		for _, r := range res {
+			ch := r.Ch
 			_, o, _ := ch.StallPct()
 			osTot += o / 3
 			instr += ch.OSIMissStallPct() / 3
@@ -416,15 +434,33 @@ func sizeCPU(n int) string {
 // ---- Ablation: affinity scheduling ----
 
 func BenchmarkAblationAffinity_Multpgm(b *testing.B) {
-	var base, aff *core.Characterization
-	for i := 0; i < b.N; i++ {
-		base = core.Run(core.Config{Workload: workload.Multpgm, Window: benchWindow, Seed: 1})
-		aff = core.Run(core.Config{Workload: workload.Multpgm, Window: benchWindow, Seed: 1, Affinity: true})
-	}
+	base, aff := runPair(b,
+		core.Config{Workload: workload.Multpgm, Window: benchWindow, Seed: 1},
+		core.Config{Workload: workload.Multpgm, Window: benchWindow, Seed: 1, Affinity: true})
 	b.ReportMetric(float64(base.Trace.MigrationTotal), "migration_misses_default")
 	b.ReportMetric(float64(aff.Trace.MigrationTotal), "migration_misses_affinity")
 	b.ReportMetric(base.MigrationStallPct(), "migration_stall%_default")
 	b.ReportMetric(aff.MigrationStallPct(), "migration_stall%_affinity")
+}
+
+// ---- The parallel experiment engine itself ----
+
+// BenchmarkRunnerRunSet fans the standard three-workload set across the
+// worker pool and reports the measured pool speedup (serial wall / batch
+// wall) and per-run simulation throughput.
+func BenchmarkRunnerRunSet(b *testing.B) {
+	cfgs := []core.Config{
+		{Workload: workload.Pmake, Window: benchWindow, Seed: 1},
+		{Workload: workload.Multpgm, Window: benchWindow, Seed: 1},
+		{Workload: workload.Oracle, Window: benchWindow, Seed: 1},
+	}
+	var batch metrics.BatchStats
+	for i := 0; i < b.N; i++ {
+		_, batch = runner.Experiments(cfgs, runner.Options{})
+	}
+	b.ReportMetric(batch.Speedup(), "pool_speedup_x")
+	b.ReportMetric(float64(batch.Parallelism), "workers")
+	b.ReportMetric(batch.Runs[0].MCyclesPerSec, "mcycles/s_run0")
 }
 
 // ---- Microbenchmarks of the substrates ----
@@ -465,12 +501,9 @@ func BenchmarkSection6_Clusters(b *testing.B) {
 // ---- Ablation: §4.2.1 conflict-aware kernel text layout ----
 
 func BenchmarkAblationTextLayout_Pmake(b *testing.B) {
-	var std, opt *core.Characterization
-	for i := 0; i < b.N; i++ {
-		std = core.Run(core.Config{Workload: workload.Pmake, Window: benchWindow, Seed: 1})
-		opt = core.Run(core.Config{Workload: workload.Pmake, Window: benchWindow, Seed: 1,
-			OptimizedText: true})
-	}
+	std, opt := runPair(b,
+		core.Config{Workload: workload.Pmake, Window: benchWindow, Seed: 1},
+		core.Config{Workload: workload.Pmake, Window: benchWindow, Seed: 1, OptimizedText: true})
 	dispos := func(ch *core.Characterization) float64 {
 		return metrics.PctOf(ch.Trace.Counts[1][1][trace.DispOS], ch.Trace.OSMissTotal)
 	}
@@ -503,12 +536,9 @@ func BenchmarkDCacheSweep_Multpgm(b *testing.B) {
 // ---- Ablation: §4.2.2 cache-bypassing block operations ----
 
 func BenchmarkAblationBlockOpBypass_Pmake(b *testing.B) {
-	var std, byp *core.Characterization
-	for i := 0; i < b.N; i++ {
-		std = core.Run(core.Config{Workload: workload.Pmake, Window: benchWindow, Seed: 1})
-		byp = core.Run(core.Config{Workload: workload.Pmake, Window: benchWindow, Seed: 1,
-			BlockOpBypass: true})
-	}
+	std, byp := runPair(b,
+		core.Config{Workload: workload.Pmake, Window: benchWindow, Seed: 1},
+		core.Config{Workload: workload.Pmake, Window: benchWindow, Seed: 1, BlockOpBypass: true})
 	apDisp := func(ch *core.Characterization) float64 {
 		appTot := ch.Trace.ClassSum(0, 0) + ch.Trace.ClassSum(0, 1)
 		return metrics.PctOf(ch.Trace.Counts[0][0][trace.DispOS]+
@@ -530,12 +560,9 @@ func BenchmarkAblationBlockOpBypass_Pmake(b *testing.B) {
 // ---- Ablation: write-invalidate vs write-update coherence ----
 
 func BenchmarkAblationCoherence_Multpgm(b *testing.B) {
-	var inv, upd *core.Characterization
-	for i := 0; i < b.N; i++ {
-		inv = core.Run(core.Config{Workload: workload.Multpgm, Window: benchWindow, Seed: 1})
-		upd = core.Run(core.Config{Workload: workload.Multpgm, Window: benchWindow, Seed: 1,
-			UpdateProtocol: true})
-	}
+	inv, upd := runPair(b,
+		core.Config{Workload: workload.Multpgm, Window: benchWindow, Seed: 1},
+		core.Config{Workload: workload.Multpgm, Window: benchWindow, Seed: 1, UpdateProtocol: true})
 	sharing := func(ch *core.Characterization) float64 {
 		return float64(ch.Trace.Counts[1][0][trace.Sharing] +
 			ch.Trace.Counts[0][0][trace.Sharing])

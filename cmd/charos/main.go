@@ -17,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"repro/internal/arch"
@@ -24,32 +25,27 @@ import (
 	"repro/internal/core"
 	"repro/internal/inject"
 	"repro/internal/report"
+	"repro/internal/runner"
 	"repro/internal/workload"
 )
 
 // reportViolations prints a run's invariant violations to stderr and
 // reports whether there were any.
 func reportViolations(name string, ch *core.Characterization) bool {
-	if ch == nil || ch.Sim.Chk == nil || ch.Sim.Chk.Violations == 0 {
-		return false
-	}
-	fmt.Fprintf(os.Stderr, "%s: %d invariant violations (%d checks)\n",
-		name, ch.Sim.Chk.Violations, ch.Sim.Chk.Checks)
-	for _, e := range ch.CheckErrors {
-		fmt.Fprintf(os.Stderr, "  %v\n", e)
-	}
-	return true
+	return report.ReportViolations(os.Stderr, name, ch, -1)
 }
 
 func main() {
 	exp := flag.String("exp", "all", "experiment to reproduce: all, table1, figure1, figure2, figure3, figure4, figure5, figure6, figure7, table3, figure8, table4, table5, table6, table7, figure9, table9, figure10, table10, table11, table12, section6")
-	window := flag.Int64("window", 12_000_000, "traced window in 30ns cycles")
+	window := flag.Int64("window", int64(arch.DefaultWindow), "traced window in 30ns cycles")
 	seed := flag.Int64("seed", 1, "random seed")
 	ncpu := flag.Int("ncpu", 4, "number of CPUs")
 	affinity := flag.Bool("affinity", false, "enable cache-affinity scheduling")
 	checkFlag := flag.Bool("check", false, "run the invariant checker (shadow memory, coherence, lock discipline)")
 	injectFlag := flag.String("inject", "", "fault-injection modes: evict, jitter, intr, migrate, all, or a comma list")
 	faultSeed := flag.Int64("fault-seed", 0, "fault-injector seed (0 derives one from -seed)")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
+		"worker-pool size for the three workload runs (1 = serial)")
 	flag.Parse()
 
 	icfg, err := inject.Preset(*injectFlag)
@@ -126,12 +122,12 @@ func main() {
 		os.Exit(2)
 	}
 
-	fmt.Fprintf(os.Stderr, "running Pmake, Multpgm and Oracle (window %d cycles ≈ %.0f ms at 33 MHz)...\n",
-		cfg.Window, float64(cfg.Window.NS())/1e6)
+	fmt.Fprintf(os.Stderr, "running Pmake, Multpgm and Oracle (window %d cycles ≈ %.0f ms at 33 MHz, %d workers)...\n",
+		cfg.Window, float64(cfg.Window.NS())/1e6, *parallel)
 	if injectCfg != nil {
 		fmt.Fprintf(os.Stderr, "fault injection on: %s\n", injectCfg.Modes())
 	}
-	set := report.RunSet(cfg)
+	set := report.RunSetParallel(cfg, runner.Options{Parallelism: *parallel})
 
 	if name == "all" {
 		fmt.Print(report.All(set))
@@ -139,6 +135,7 @@ func main() {
 	} else {
 		fmt.Print(sections[name](set))
 	}
+	fmt.Fprint(os.Stderr, set.Stats.Table())
 	if injectCfg != nil && set.Pmake.Sim.Inj != nil {
 		fmt.Fprintf(os.Stderr, "faults delivered (Pmake): %v\n", set.Pmake.Sim.Inj.Stats)
 	}

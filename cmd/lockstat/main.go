@@ -1,30 +1,36 @@
 // Command lockstat reproduces the synchronization study of Section 5: the
 // sync-bus vs cacheable-lock stall comparison (Table 10), the lock
 // functions (Table 11), and the per-lock characterization (Table 12), plus
-// a dump of every lock family's statistics for the chosen workload.
+// a dump of every lock family's statistics for the chosen workload. The
+// three workload runs fan out across a worker pool (-parallel 1 restores
+// serial execution; output is byte-identical either way).
 //
 // Usage:
 //
-//	lockstat [-workload Pmake|Multpgm|Oracle] [-window N]
+//	lockstat [-workload Pmake|Multpgm|Oracle] [-window N] [-parallel N]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"repro/internal/arch"
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/report"
+	"repro/internal/runner"
 	"repro/internal/workload"
 )
 
 func main() {
 	wl := flag.String("workload", "Pmake", "workload: Pmake, Multpgm, Oracle")
-	window := flag.Int64("window", 12_000_000, "traced window in cycles")
+	window := flag.Int64("window", int64(arch.DefaultWindow), "traced window in cycles")
 	seed := flag.Int64("seed", 1, "random seed")
 	checkFlag := flag.Bool("check", false, "run the invariant checker (lock discipline included)")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
+		"worker-pool size for the workload runs (1 = serial)")
 	flag.Parse()
 
 	kind, err := workload.ParseKind(*wl)
@@ -33,7 +39,8 @@ func main() {
 		os.Exit(2)
 	}
 	fmt.Fprintf(os.Stderr, "running all three workloads for Table 10, %s for the detail dump...\n", kind)
-	set := report.RunSet(core.Config{Window: arch.Cycles(*window), Seed: *seed, Check: *checkFlag})
+	set := report.RunSetParallel(core.Config{Window: arch.Cycles(*window), Seed: *seed, Check: *checkFlag},
+		runner.Options{Parallelism: *parallel})
 	fmt.Print(report.Table10(set))
 	fmt.Print(report.Table11())
 	fmt.Print(report.Table12(set))
@@ -60,12 +67,14 @@ func main() {
 			fmt.Sprintf("%.0f", st.PctCachedVsUncached))
 	}
 	fmt.Print(t.String())
+	fmt.Fprint(os.Stderr, set.Stats.Table())
 
+	// Report every failing workload, not just the first, before exiting.
+	bad := false
 	for _, c := range []*core.Characterization{set.Pmake, set.Multpgm, set.Oracle} {
-		if c.Sim.Chk != nil && c.Sim.Chk.Violations > 0 {
-			fmt.Fprintf(os.Stderr, "%s: %d invariant violations, first: %v\n",
-				c.Cfg.Workload, c.Sim.Chk.Violations, c.CheckErrors[0])
-			os.Exit(1)
-		}
+		bad = report.ReportViolations(os.Stderr, c.Cfg.Workload.String(), c, 1) || bad
+	}
+	if bad {
+		os.Exit(1)
 	}
 }

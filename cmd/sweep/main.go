@@ -1,46 +1,56 @@
 // Command sweep runs the parameter-sweep experiments: the Figure 6
 // I-cache size/associativity re-simulation and the Figure 11 lock
-// contention sweep over CPU counts.
+// contention sweep over CPU counts. Independent runs fan out across a
+// worker pool; -parallel 1 restores serial execution (output is
+// byte-identical either way).
 //
 // Usage:
 //
-//	sweep -exp figure6 [-window N]
-//	sweep -exp figure11 [-cpus 2,4,6,8,12,16]
+//	sweep -exp figure6 [-window N] [-parallel N]
+//	sweep -exp figure11 [-cpus 2,4,6,8,12,16] [-parallel N]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
 	"repro/internal/arch"
 	"repro/internal/core"
 	"repro/internal/report"
+	"repro/internal/runner"
 )
 
 func main() {
 	exp := flag.String("exp", "figure6", "figure6 or figure11")
-	window := flag.Int64("window", 12_000_000, "traced window in cycles")
+	window := flag.Int64("window", int64(arch.DefaultWindow), "traced window in cycles")
 	seed := flag.Int64("seed", 1, "random seed")
 	cpus := flag.String("cpus", "2,4,6,8,12,16", "CPU counts for figure11")
 	checkFlag := flag.Bool("check", false, "run the invariant checker alongside the sweep")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
+		"worker-pool size for independent runs (1 = serial)")
 	flag.Parse()
 
+	opts := runner.Options{Parallelism: *parallel}
 	switch *exp {
 	case "figure6":
-		set := report.RunSet(core.Config{
+		set := report.RunSetParallel(core.Config{
 			Window: arch.Cycles(*window), Seed: *seed, CollectIResim: true,
 			Check: *checkFlag,
-		})
+		}, opts)
 		fmt.Print(report.Figure6(set))
+		fmt.Fprint(os.Stderr, set.Stats.Table())
+		// Report every failing workload before exiting so one sweep run
+		// diagnoses the whole set.
+		bad := false
 		for _, ch := range []*core.Characterization{set.Pmake, set.Multpgm, set.Oracle} {
-			if ch.Sim.Chk != nil && ch.Sim.Chk.Violations > 0 {
-				fmt.Fprintf(os.Stderr, "%s: %d invariant violations, first: %v\n",
-					ch.Cfg.Workload, ch.Sim.Chk.Violations, ch.CheckErrors[0])
-				os.Exit(1)
-			}
+			bad = report.ReportViolations(os.Stderr, ch.Cfg.Workload.String(), ch, 1) || bad
+		}
+		if bad {
+			os.Exit(1)
 		}
 	case "figure11":
 		var counts []int
@@ -52,8 +62,9 @@ func main() {
 			}
 			counts = append(counts, n)
 		}
-		pts := report.RunFigure11(counts, arch.Cycles(*window), *seed)
+		pts, batch := report.RunFigure11Parallel(counts, arch.Cycles(*window), *seed, opts)
 		fmt.Print(report.Figure11(pts))
+		fmt.Fprint(os.Stderr, batch.Table())
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		os.Exit(2)

@@ -16,6 +16,13 @@ const (
 	// DefaultCPUs is the number of processors in the measured machine.
 	DefaultCPUs = 4
 
+	// DefaultWindow is the canonical traced window: 12M cycles ≈ 0.36 s
+	// at 33 MHz. Every experiment entry point (core.Run, the Figure 11
+	// sweep, the CLI -window flags) falls back to this single value when
+	// given a zero window, so a "default" run means the same thing
+	// everywhere.
+	DefaultWindow Cycles = 12_000_000
+
 	// ClockMHz is the processor clock rate.
 	ClockMHz = 33
 

@@ -36,19 +36,26 @@ type Point struct {
 // Figure6Sizes are the cache sizes of the paper's sweep.
 var Figure6Sizes = []int{64 << 10, 128 << 10, 256 << 10, 512 << 10, 1 << 20}
 
+// Baseline counts the OS misses of the measured machine in the stream —
+// the denominator every sweep point is normalized by.
+func Baseline(stream []trace.IResimEvent) int64 {
+	n := int64(0)
+	for _, e := range stream {
+		if !e.Flush && e.OS {
+			n++
+		}
+	}
+	return n
+}
+
 // Sweep simulates the configurations against the miss stream and returns
 // one point per config. A flush event invalidates every simulated cache
 // (the machine's code-page-reallocation flush).
 func Sweep(stream []trace.IResimEvent, ncpu int, configs []Config) []Point {
-	baseline := int64(0)
-	for _, e := range stream {
-		if !e.Flush && e.OS {
-			baseline++
-		}
-	}
+	baseline := Baseline(stream)
 	out := make([]Point, 0, len(configs))
 	for _, cfg := range configs {
-		misses := simulate(stream, ncpu, cfg)
+		misses := Simulate(stream, ncpu, cfg)
 		p := Point{Config: cfg, OSMisses: misses}
 		if baseline > 0 {
 			p.Relative = float64(misses) / float64(baseline)
@@ -58,7 +65,10 @@ func Sweep(stream []trace.IResimEvent, ncpu int, configs []Config) []Point {
 	return out
 }
 
-func simulate(stream []trace.IResimEvent, ncpu int, cfg Config) int64 {
+// Simulate replays the miss stream against one I-cache configuration and
+// returns the OS misses it would take. Each call builds its own caches, so
+// independent configurations can be simulated concurrently.
+func Simulate(stream []trace.IResimEvent, ncpu int, cfg Config) int64 {
 	caches := make([]*cache.Cache, ncpu)
 	for i := range caches {
 		caches[i] = cache.New("sweep", cfg.Size, cfg.Assoc)
@@ -124,15 +134,21 @@ type Figure6Result struct {
 	InvalBoundMisses int64
 }
 
-// Figure6 computes the whole figure from a classified trace.
-func Figure6(stream []trace.IResimEvent, ncpu int) Figure6Result {
-	var dm, tw []Config
+// Figure6Configs returns the direct-mapped and two-way configuration
+// lists of the paper's sweep (the impossible 64 KB two-way excluded).
+func Figure6Configs() (dm, tw []Config) {
 	for _, sz := range Figure6Sizes {
 		dm = append(dm, Config{Size: sz, Assoc: 1})
 		if sz > 64<<10 {
 			tw = append(tw, Config{Size: sz, Assoc: 2})
 		}
 	}
+	return dm, tw
+}
+
+// Figure6 computes the whole figure from a classified trace.
+func Figure6(stream []trace.IResimEvent, ncpu int) Figure6Result {
+	dm, tw := Figure6Configs()
 	res := Figure6Result{
 		DirectMapped: Sweep(stream, ncpu, dm),
 		TwoWay:       Sweep(stream, ncpu, tw),

@@ -64,7 +64,7 @@ func (c Config) withDefaults() Config {
 		c.Seed = 1
 	}
 	if c.Window <= 0 {
-		c.Window = 12_000_000
+		c.Window = arch.DefaultWindow
 	}
 	if c.Warmup <= 0 {
 		c.Warmup = c.Window / 2

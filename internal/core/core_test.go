@@ -3,6 +3,7 @@ package core
 import (
 	"testing"
 
+	"repro/internal/arch"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -229,10 +230,29 @@ func TestBypassShiftsMissesToUncached(t *testing.T) {
 
 func TestNegativeWindowClampsToDefault(t *testing.T) {
 	cfg := Config{Window: -5, Warmup: -1}.withDefaults()
-	if cfg.Window != 12_000_000 {
-		t.Errorf("Window = %d, want default", cfg.Window)
+	if cfg.Window != arch.DefaultWindow {
+		t.Errorf("Window = %d, want arch.DefaultWindow (%d)", cfg.Window, arch.DefaultWindow)
 	}
 	if cfg.Warmup != cfg.Window/2 {
 		t.Errorf("Warmup = %d, want Window/2", cfg.Warmup)
+	}
+}
+
+// TestZeroWindowDefaults pins the canonical defaults: every entry point
+// that leaves the window at zero must land on the same 12M-cycle traced
+// window (arch.DefaultWindow), not a per-package copy of it.
+func TestZeroWindowDefaults(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	if cfg.Window != arch.DefaultWindow {
+		t.Errorf("Window = %d, want arch.DefaultWindow (%d)", cfg.Window, arch.DefaultWindow)
+	}
+	if cfg.Warmup != arch.DefaultWindow/2 {
+		t.Errorf("Warmup = %d, want %d", cfg.Warmup, arch.DefaultWindow/2)
+	}
+	if cfg.NCPU != arch.DefaultCPUs {
+		t.Errorf("NCPU = %d, want %d", cfg.NCPU, arch.DefaultCPUs)
+	}
+	if cfg.Seed != 1 {
+		t.Errorf("Seed = %d, want 1", cfg.Seed)
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func TestHistogramBuckets(t *testing.T) {
@@ -120,5 +121,44 @@ func TestPctOf(t *testing.T) {
 	}
 	if PctOfF(1, 2) != 50 || PctOfF(1, 0) != 0 {
 		t.Error("PctOfF wrong")
+	}
+}
+
+func TestRunStatsThroughput(t *testing.T) {
+	r := RunStats{SimCycles: 48_000_000, Wall: 2 * time.Second}
+	r.Throughput()
+	if r.MCyclesPerSec != 24 {
+		t.Errorf("MCyclesPerSec = %v, want 24", r.MCyclesPerSec)
+	}
+	z := RunStats{SimCycles: 1}
+	z.Throughput() // zero wall must not divide by zero
+	if z.MCyclesPerSec != 0 {
+		t.Errorf("zero-wall throughput = %v, want 0", z.MCyclesPerSec)
+	}
+}
+
+func TestBatchStatsSpeedupAndTable(t *testing.T) {
+	b := BatchStats{
+		Parallelism: 4,
+		Wall:        time.Second,
+		SerialWall:  3 * time.Second,
+		Allocs:      1000,
+		AllocBytes:  2_000_000,
+		Runs: []RunStats{
+			{Label: "Pmake/ncpu4/seed1", Wall: time.Second, SimCycles: 18_000_000, MCyclesPerSec: 18, Allocs: 500, AllocBytes: 1_000_000},
+			{Label: "Oracle/ncpu4/seed1", Wall: 2 * time.Second, SimCycles: 18_000_000, MCyclesPerSec: 9},
+		},
+	}
+	if got := b.Speedup(); got != 3 {
+		t.Errorf("Speedup = %v, want 3", got)
+	}
+	if (BatchStats{}).Speedup() != 0 {
+		t.Error("zero-wall batch should report 0 speedup, not NaN")
+	}
+	out := b.Table()
+	for _, want := range []string{"4 workers", "Pmake/ncpu4/seed1", "speedup 3.00x", "500", "-"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
 	}
 }

@@ -3,7 +3,9 @@ package report
 import (
 	"testing"
 
+	"repro/internal/arch"
 	"repro/internal/core"
+	"repro/internal/runner"
 )
 
 // TestReportsByteIdenticalPerSeed is the replay guarantee the fault
@@ -24,6 +26,57 @@ func TestReportsByteIdenticalPerSeed(t *testing.T) {
 			}
 		}
 		t.Fatalf("reports differ in length: %d vs %d bytes", len(a), len(b))
+	}
+}
+
+// diffLines fails the test at the first divergent line of a and b.
+func diffLines(t *testing.T, what, a, b string) {
+	t.Helper()
+	if a == b {
+		return
+	}
+	la, lb := splitLines(a), splitLines(b)
+	for i := 0; i < len(la) && i < len(lb); i++ {
+		if la[i] != lb[i] {
+			t.Fatalf("%s diverges at line %d:\n  serial:   %s\n  parallel: %s", what, i+1, la[i], lb[i])
+		}
+	}
+	t.Fatalf("%s differs in length: %d vs %d bytes", what, len(a), len(b))
+}
+
+// TestParallelRunSetByteIdentical is the worker pool's contract: the full
+// report — including the Figure 6 re-simulation, whose inner sweep also
+// fans out — must render byte-for-byte identically on 1 worker and on 8.
+func TestParallelRunSetByteIdentical(t *testing.T) {
+	cfg := core.Config{Window: 600_000, Warmup: 300_000, Seed: 11, Check: true, CollectIResim: true}
+	render := func(par int) string {
+		set := RunSetParallel(cfg, runner.Options{Parallelism: par})
+		return All(set) + Figure6(set)
+	}
+	diffLines(t, "report", render(1), render(8))
+}
+
+// TestParallelFigure11ByteIdentical covers the other fan-out entry point:
+// the lock-contention sweep over CPU counts.
+func TestParallelFigure11ByteIdentical(t *testing.T) {
+	render := func(par int) string {
+		pts, _ := RunFigure11Parallel([]int{2, 3, 4}, 400_000, 7, runner.Options{Parallelism: par})
+		return Figure11(pts)
+	}
+	diffLines(t, "figure 11", render(1), render(8))
+}
+
+// TestFigure11WindowDefault pins the zero-window fallback to the one
+// canonical default; this path used to disagree with cmd/sweep (8M vs 12M).
+func TestFigure11WindowDefault(t *testing.T) {
+	if got := figure11Window(0); got != arch.DefaultWindow {
+		t.Errorf("figure11Window(0) = %d, want arch.DefaultWindow (%d)", got, arch.DefaultWindow)
+	}
+	if got := figure11Window(-1); got != arch.DefaultWindow {
+		t.Errorf("figure11Window(-1) = %d, want %d", got, arch.DefaultWindow)
+	}
+	if got := figure11Window(100); got != 100 {
+		t.Errorf("figure11Window(100) = %d, want 100", got)
 	}
 }
 

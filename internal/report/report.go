@@ -5,15 +5,18 @@ package report
 
 import (
 	"fmt"
+	"io"
 	"sort"
 	"strings"
 
 	"repro/internal/arch"
+	"repro/internal/cachesweep"
 	"repro/internal/core"
 	"repro/internal/kernel"
 	"repro/internal/klock"
 	"repro/internal/kmem"
 	"repro/internal/metrics"
+	"repro/internal/runner"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -23,16 +26,59 @@ type Set struct {
 	Pmake   *core.Characterization
 	Multpgm *core.Characterization
 	Oracle  *core.Characterization
+	// Stats is the timing/allocation record of the batch that built the
+	// set (zero-valued for hand-assembled sets).
+	Stats metrics.BatchStats
+	// Parallelism is carried into the re-simulation fan-outs (Figure 6);
+	// <= 0 means GOMAXPROCS.
+	Parallelism int
 }
 
-// RunSet executes all three workloads with the given base config.
+// RunSet executes all three workloads with the given base config, fanning
+// them across the runner's default worker pool. Output is byte-identical
+// to a serial execution (each run is seeded independently).
 func RunSet(cfg core.Config) *Set {
-	mk := func(k workload.Kind) *core.Characterization {
-		c := cfg
-		c.Workload = k
-		return core.Run(c)
+	return RunSetParallel(cfg, runner.Options{})
+}
+
+// RunSetParallel is RunSet with an explicit worker-pool size
+// (Parallelism 1 restores strictly serial execution).
+func RunSetParallel(cfg core.Config, opts runner.Options) *Set {
+	kinds := []workload.Kind{workload.Pmake, workload.Multpgm, workload.Oracle}
+	cfgs := make([]core.Config, len(kinds))
+	for i, k := range kinds {
+		cfgs[i] = cfg
+		cfgs[i].Workload = k
 	}
-	return &Set{Pmake: mk(workload.Pmake), Multpgm: mk(workload.Multpgm), Oracle: mk(workload.Oracle)}
+	res, batch := runner.Experiments(cfgs, opts)
+	return &Set{
+		Pmake: res[0].Ch, Multpgm: res[1].Ch, Oracle: res[2].Ch,
+		Stats: batch, Parallelism: opts.Parallelism,
+	}
+}
+
+// ReportViolations writes a run's invariant violations to w and reports
+// whether there were any. At most max collected errors are printed (max <
+// 0 prints all). The checker caps its collected list independently of the
+// violation counter, so a positive count with an empty list prints the
+// count alone — never index CheckErrors unguarded.
+func ReportViolations(w io.Writer, name string, ch *core.Characterization, max int) bool {
+	if ch == nil || ch.Sim.Chk == nil || ch.Sim.Chk.Violations == 0 {
+		return false
+	}
+	chk := ch.Sim.Chk
+	fmt.Fprintf(w, "%s: %d invariant violations (%d checks)\n", name, chk.Violations, chk.Checks)
+	errs := ch.CheckErrors
+	if max >= 0 && len(errs) > max {
+		errs = errs[:max]
+	}
+	for _, e := range errs {
+		fmt.Fprintf(w, "  %v\n", e)
+	}
+	if dropped := chk.Violations - int64(len(ch.CheckErrors)); dropped > 0 {
+		fmt.Fprintf(w, "  ... %d more violations not collected (list capped)\n", dropped)
+	}
+	return true
 }
 
 // each iterates the set in paper order.
@@ -258,11 +304,50 @@ func Figure5(s *Set) string {
 	return t.String()
 }
 
-// Figure6 renders the I-cache size/associativity sweep.
+// figure6Result re-simulates one workload's I-cache sweep, fanning one
+// pool job per cache configuration (plus the invalidation bound) through
+// the runner. Point order and values match cachesweep.Figure6 exactly.
+func figure6Result(ch *core.Characterization, opts runner.Options) cachesweep.Figure6Result {
+	if ch.Trace == nil || len(ch.Trace.IResim) == 0 {
+		panic("report: Figure6 requires CollectIResim")
+	}
+	stream, ncpu := ch.Trace.IResim, ch.Cfg.NCPU
+	dm, tw := cachesweep.Figure6Configs()
+	configs := append(append([]cachesweep.Config{}, dm...), tw...)
+	baseline := cachesweep.Baseline(stream)
+	// One job per configuration; the last job computes the bound.
+	misses := runner.Map(len(configs)+1, opts, func(i int) int64 {
+		if i == len(configs) {
+			m, _ := cachesweep.InvalBound(stream, ncpu)
+			return m
+		}
+		return cachesweep.Simulate(stream, ncpu, configs[i])
+	})
+	rel := func(m int64) float64 {
+		if baseline == 0 {
+			return 0
+		}
+		return float64(m) / float64(baseline)
+	}
+	res := cachesweep.Figure6Result{InvalBoundMisses: misses[len(configs)]}
+	res.InvalBoundRel = rel(res.InvalBoundMisses)
+	for i, cfg := range configs {
+		p := cachesweep.Point{Config: cfg, OSMisses: misses[i], Relative: rel(misses[i])}
+		if i < len(dm) {
+			res.DirectMapped = append(res.DirectMapped, p)
+		} else {
+			res.TwoWay = append(res.TwoWay, p)
+		}
+	}
+	return res
+}
+
+// Figure6 renders the I-cache size/associativity sweep, re-simulating
+// each configuration on the set's worker pool.
 func Figure6(s *Set) string {
 	var b strings.Builder
 	s.each(func(name string, ch *core.Characterization) {
-		res := ch.Figure6()
+		res := figure6Result(ch, runner.Options{Parallelism: s.Parallelism})
 		t := metrics.NewTable(fmt.Sprintf("Figure 6 (%s): OS I-miss rate relative to the 64KB direct-mapped cache", name),
 			"Size", "DM", "2-way", "Inval bound (DM floor)")
 		for i, p := range res.DirectMapped {
@@ -608,19 +693,42 @@ type Figure11Point struct {
 	AcquiresPerMS float64
 }
 
+// figure11Window resolves a zero window to the one canonical default
+// (arch.DefaultWindow), the same value core.Run and the CLI flags use.
+func figure11Window(w arch.Cycles) arch.Cycles {
+	if w <= 0 {
+		return arch.DefaultWindow
+	}
+	return w
+}
+
 // RunFigure11 sweeps the CPU count for Multpgm and reports failed
 // acquires per millisecond for the hottest locks (kernel Runqlk and
-// Memlock plus the user-level Mp3d locks).
+// Memlock plus the user-level Mp3d locks). The counts run on the default
+// worker pool.
 func RunFigure11(cpuCounts []int, window arch.Cycles, seed int64) []Figure11Point {
-	if window == 0 {
-		window = 8_000_000
-	}
-	var out []Figure11Point
-	for _, n := range cpuCounts {
-		ch := core.Run(core.Config{
+	pts, _ := RunFigure11Parallel(cpuCounts, window, seed, runner.Options{})
+	return pts
+}
+
+// RunFigure11Parallel is RunFigure11 with an explicit worker-pool size; it
+// also returns the batch timing record. Points come back in submission
+// order (one group of locks per CPU count), byte-identical to a serial
+// sweep.
+func RunFigure11Parallel(cpuCounts []int, window arch.Cycles, seed int64,
+	opts runner.Options) ([]Figure11Point, metrics.BatchStats) {
+	window = figure11Window(window)
+	cfgs := make([]core.Config, len(cpuCounts))
+	for i, n := range cpuCounts {
+		cfgs[i] = core.Config{
 			Workload: workload.Multpgm, NCPU: n, Seed: seed,
 			Window: window, NoTrace: true,
-		})
+		}
+	}
+	res, batch := runner.Experiments(cfgs, opts)
+	var out []Figure11Point
+	for i, r := range res {
+		n, ch := cpuCounts[i], r.Ch
 		// The paper plots failed acquires per millisecond of run time
 		// (Y includes idle). Use the wall-clock window.
 		wallMS := float64(window.NS()) / 1e6
@@ -642,7 +750,7 @@ func RunFigure11(cpuCounts []int, window arch.Cycles, seed int64) []Figure11Poin
 		out = append(out, Figure11Point{NCPU: n, Lock: "mp3d user locks",
 			FailedPerMS: float64(fails) / wallMS, AcquiresPerMS: float64(acqs) / wallMS})
 	}
-	return out
+	return out, batch
 }
 
 // Figure11 renders the contention sweep.

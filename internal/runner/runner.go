@@ -1,0 +1,161 @@
+// Package runner is the parallel experiment engine: a worker pool that
+// fans independent core.Config runs (and, through Map/ForEach, any other
+// index-shaped fan-out) across GOMAXPROCS goroutines with order-preserving
+// result collection.
+//
+// Determinism is the contract. Every core.Run builds its own simulator,
+// kernel and RNG from its config's seed, so a run's output depends only on
+// its config — never on which worker executed it or in what order. Results
+// are collected into a slice indexed by submission order, which makes a
+// parallel batch byte-identical to the serial execution of the same
+// configs. `Options{Parallelism: 1}` restores strictly serial execution.
+//
+//	res, batch := runner.Experiments(cfgs, runner.Options{})
+//	// res[i] corresponds to cfgs[i]; batch.Table() shows the speedup.
+package runner
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+)
+
+// Options tunes the pool.
+type Options struct {
+	// Parallelism is the worker count. <= 0 means runtime.GOMAXPROCS(0);
+	// 1 runs strictly serially on the calling goroutine.
+	Parallelism int
+}
+
+// workers resolves the worker count for a batch of n jobs.
+func (o Options) workers(n int) int {
+	p := o.Parallelism
+	if p <= 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	if p > n {
+		p = n
+	}
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+// DeriveSeed mixes a base seed and a run index into an independent,
+// reproducible per-run seed (splitmix64 finalizer). Sweeps that want
+// statistically independent runs derive one seed per submission index, so
+// the whole sweep replays from the base seed alone — on any worker count.
+func DeriveSeed(base int64, i int) int64 {
+	z := uint64(base) + uint64(i+1)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	s := int64(z &^ (1 << 63))
+	if s == 0 {
+		return 1 // seed 0 means "default" to the simulator
+	}
+	return s
+}
+
+// ForEach runs fn(0..n-1) on a bounded worker pool and returns when all
+// calls have finished. fn must not depend on execution order; writes
+// should go to the caller's slot i.
+func ForEach(n int, opts Options, fn func(i int)) {
+	w := opts.workers(n)
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for q := 0; q < w; q++ {
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+}
+
+// Map fans fn across the pool and returns its results indexed by
+// submission order: Map(n, o, f)[i] == f(i) regardless of parallelism.
+func Map[T any](n int, opts Options, fn func(i int) T) []T {
+	out := make([]T, n)
+	ForEach(n, opts, func(i int) { out[i] = fn(i) })
+	return out
+}
+
+// Result pairs a characterization with its per-run observability.
+type Result struct {
+	Ch    *core.Characterization
+	Stats metrics.RunStats
+}
+
+// Experiments runs each config through core.Run on the pool. Results are
+// indexed by submission order (Result[i] is cfgs[i]'s run), so output
+// rendered from them is byte-identical to a serial execution. The batch
+// stats carry per-run wall-clock and simulated-cycle throughput plus
+// process-wide allocation deltas; per-run allocation counts are exact
+// only for serial batches (Go accounts heap allocation process-wide).
+func Experiments(cfgs []core.Config, opts Options) ([]Result, metrics.BatchStats) {
+	n := len(cfgs)
+	w := opts.workers(n)
+	serial := w == 1
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	out := make([]Result, n)
+	ForEach(n, opts, func(i int) {
+		var m0 runtime.MemStats
+		if serial {
+			runtime.ReadMemStats(&m0)
+		}
+		t0 := time.Now()
+		ch := core.Run(cfgs[i])
+		st := metrics.RunStats{
+			Label: runLabel(ch.Cfg),
+			Wall:  time.Since(t0),
+			// ch.Cfg has defaults applied; warmup cycles are simulated
+			// (and paid for) too.
+			SimCycles: int64(ch.Cfg.Window+ch.Cfg.Warmup) * int64(ch.Cfg.NCPU),
+		}
+		st.Throughput()
+		if serial {
+			var m1 runtime.MemStats
+			runtime.ReadMemStats(&m1)
+			st.Allocs = m1.Mallocs - m0.Mallocs
+			st.AllocBytes = m1.TotalAlloc - m0.TotalAlloc
+		}
+		out[i] = Result{Ch: ch, Stats: st}
+	})
+	batch := metrics.BatchStats{Parallelism: w, Wall: time.Since(start)}
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+	batch.Allocs = after.Mallocs - before.Mallocs
+	batch.AllocBytes = after.TotalAlloc - before.TotalAlloc
+	batch.Runs = make([]metrics.RunStats, n)
+	for i, r := range out {
+		batch.SerialWall += r.Stats.Wall
+		batch.Runs[i] = r.Stats
+	}
+	return out, batch
+}
+
+// runLabel names a run for the timing table.
+func runLabel(c core.Config) string {
+	return fmt.Sprintf("%s/ncpu%d/seed%d", c.Workload, c.NCPU, c.Seed)
+}

@@ -54,7 +54,7 @@ func (c Config) withDefaults() Config {
 		c.NCPU = arch.DefaultCPUs
 	}
 	if c.Window == 0 {
-		c.Window = 8_000_000
+		c.Window = arch.DefaultWindow
 	}
 	if c.Warmup == 0 {
 		c.Warmup = c.Window / 4

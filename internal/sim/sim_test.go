@@ -353,3 +353,12 @@ func TestNoKernelLockLeaks(t *testing.T) {
 		}
 	}
 }
+
+// TestZeroWindowDefault pins the simulator's zero-window fallback to the
+// shared arch.DefaultWindow (it used to carry its own 8M-cycle copy).
+func TestZeroWindowDefault(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	if cfg.Window != arch.DefaultWindow {
+		t.Errorf("Window = %d, want arch.DefaultWindow (%d)", cfg.Window, arch.DefaultWindow)
+	}
+}

@@ -1,6 +1,8 @@
 package workload
 
 import (
+	"sync"
+
 	"repro/internal/kernel"
 	"repro/internal/klock"
 )
@@ -20,8 +22,24 @@ const (
 	edSessions      = 5
 )
 
-// lastBarrier exposes the most recent barrier for calibration tests.
-var lastBarrier *mp3dBarrier
+// lastBarrier exposes the most recent barrier for calibration tests. The
+// mutex makes Setup safe to call from concurrent runner workers; the
+// barrier itself is only ever touched by its own simulator afterwards.
+var (
+	lastBarrierMu sync.Mutex
+	lastBarrier   *mp3dBarrier
+)
+
+// lastBarrierGen reports the generation counter of the most recently
+// created mp3d barrier (calibration tests only).
+func lastBarrierGen() int {
+	lastBarrierMu.Lock()
+	defer lastBarrierMu.Unlock()
+	if lastBarrier == nil {
+		return 0
+	}
+	return lastBarrier.gen
+}
 
 // mp3dBarrier is the shared end-of-timestep barrier state.
 type mp3dBarrier struct {
@@ -143,7 +161,9 @@ func SetupMp3d(k *kernel.Kernel) *kernel.Proc {
 	}
 	barrier := k.RegisterUserLock("mp3d_barrier")
 	shared := &mp3dBarrier{}
+	lastBarrierMu.Lock()
 	lastBarrier = shared
+	lastBarrierMu.Unlock()
 	var leader *kernel.Proc
 	for i := 0; i < mp3dProcs; i++ {
 		spec := &kernel.ProcSpec{

@@ -147,7 +147,7 @@ func TestMp3dLockContention(t *testing.T) {
 // TestBarrierDynamics logs mp3d barrier progress (calibration aid).
 func TestBarrierDynamics(t *testing.T) {
 	s := runKind(t, Multpgm, 8_000_000)
-	t.Logf("barrier generations: %d", lastBarrier.gen)
+	t.Logf("barrier generations: %d", lastBarrierGen())
 	ops := s.K.Counters().Sub(s.BaseCounters).OpCounts
 	t.Logf("sginaps: %d, ctx: %d", ops[kernel.OpSginap],
 		s.K.Counters().Sub(s.BaseCounters).CtxSwitches)

@@ -11,10 +11,21 @@ go build ./...
 echo "== go vet ./..."
 go vet ./...
 
+echo "== go test -race ./internal/runner/..."
+go test -race ./internal/runner/...
+
 echo "== go test -race ./..."
 go test -race ./...
 
 echo "== checked fault-injection smoke (charos -check -inject all)"
 go run ./cmd/charos -exp table1 -window 2000000 -check -inject all >/dev/null
+
+echo "== parallel-vs-serial determinism smoke (sweep -exp figure11)"
+serial=$(go run ./cmd/sweep -exp figure11 -cpus 2,4 -window 1000000 -parallel 1 2>/dev/null)
+pooled=$(go run ./cmd/sweep -exp figure11 -cpus 2,4 -window 1000000 -parallel 8 2>/dev/null)
+if [ "$serial" != "$pooled" ]; then
+    echo "FAIL: -parallel 8 output diverges from -parallel 1" >&2
+    exit 1
+fi
 
 echo "ok"
