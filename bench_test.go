@@ -473,7 +473,8 @@ func BenchmarkPipeline_FullCharacterization(b *testing.B) {
 
 func BenchmarkClassifierThroughput(b *testing.B) {
 	// Build one trace, then measure pure classification speed.
-	ch := core.Run(core.Config{Workload: workload.Pmake, Window: benchWindow, Seed: 1})
+	ch := core.Run(core.Config{Workload: workload.Pmake, Window: benchWindow, Seed: 1,
+		Buffered: true})
 	txns := ch.Sim.Mon.Trace()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -488,7 +489,7 @@ func BenchmarkSection6_Clusters(b *testing.B) {
 	var results []cluster.Result
 	for i := 0; i < b.N; i++ {
 		ch := core.Run(core.Config{Workload: workload.Multpgm, NCPU: 8,
-			Window: benchWindow, Seed: 1})
+			Window: benchWindow, Seed: 1, Buffered: true})
 		results = cluster.Study(ch.Sim.Mon.Trace(), ch.Sim.K.L, 8, 2)
 	}
 	b.ReportMetric(100*results[0].RemoteShare(), "baseline_remote%")

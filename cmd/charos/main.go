@@ -24,6 +24,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/inject"
+	"repro/internal/profiling"
 	"repro/internal/report"
 	"repro/internal/runner"
 	"repro/internal/workload"
@@ -35,7 +36,9 @@ func reportViolations(name string, ch *core.Characterization) bool {
 	return report.ReportViolations(os.Stderr, name, ch, -1)
 }
 
-func main() {
+func main() { os.Exit(run()) }
+
+func run() int {
 	exp := flag.String("exp", "all", "experiment to reproduce: all, table1, figure1, figure2, figure3, figure4, figure5, figure6, figure7, table3, figure8, table4, table5, table6, table7, figure9, table9, figure10, table10, table11, table12, section6")
 	window := flag.Int64("window", int64(arch.DefaultWindow), "traced window in 30ns cycles")
 	seed := flag.Int64("seed", 1, "random seed")
@@ -46,12 +49,23 @@ func main() {
 	faultSeed := flag.Int64("fault-seed", 0, "fault-injector seed (0 derives one from -seed)")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
 		"worker-pool size for the three workload runs (1 = serial)")
+	buffered := flag.Bool("buffered", false,
+		"use the stop-and-drain pipeline (materialize the monitor trace, classify post-run) instead of streaming classification")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	stopProf, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	defer stopProf()
 
 	icfg, err := inject.Preset(*injectFlag)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		return 2
 	}
 	icfg.Seed = *faultSeed
 	var injectCfg *inject.Config
@@ -70,6 +84,7 @@ func main() {
 		Affinity:      *affinity,
 		Check:         *checkFlag,
 		Inject:        injectCfg,
+		Buffered:      *buffered,
 		CollectIResim: name == "all" || name == "figure6",
 	}
 
@@ -77,23 +92,25 @@ func main() {
 	switch name {
 	case "table3":
 		fmt.Print(report.Table3())
-		return
+		return 0
 	case "table11":
 		fmt.Print(report.Table11())
-		return
+		return 0
 	case "section6":
-		// The cluster what-if study runs its own 8-CPU simulation.
+		// The cluster what-if study runs its own 8-CPU simulation. It
+		// reprices the materialized transaction trace, so it always runs
+		// the buffered pipeline.
 		ch := core.Run(core.Config{
 			Workload: workload.Multpgm, NCPU: 8,
 			Window: arch.Cycles(*window), Seed: *seed,
-			Check: *checkFlag, Inject: injectCfg,
+			Check: *checkFlag, Inject: injectCfg, Buffered: true,
 		})
 		results := cluster.Study(ch.Sim.Mon.Trace(), ch.Sim.K.L, 8, 2)
 		fmt.Print(cluster.Render(results, "Multpgm, 4 clusters of 2"))
 		if reportViolations("section6", ch) {
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 
 	sections := map[string]func(*report.Set) string{
@@ -119,7 +136,7 @@ func main() {
 	// Validate before the (expensive) simulations run.
 	if _, ok := sections[name]; !ok && name != "all" {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
-		os.Exit(2)
+		return 2
 	}
 
 	fmt.Fprintf(os.Stderr, "running Pmake, Multpgm and Oracle (window %d cycles ≈ %.0f ms at 33 MHz, %d workers)...\n",
@@ -143,10 +160,11 @@ func main() {
 	bad = reportViolations("Multpgm", set.Multpgm) || bad
 	bad = reportViolations("Oracle", set.Oracle) || bad
 	if bad {
-		os.Exit(1)
+		return 1
 	}
 	if cfg.Check {
 		fmt.Fprintf(os.Stderr, "invariant checker: %d checks, 0 violations\n",
 			set.Pmake.Sim.Chk.Checks+set.Multpgm.Sim.Chk.Checks+set.Oracle.Sim.Chk.Checks)
 	}
+	return 0
 }

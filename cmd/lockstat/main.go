@@ -19,24 +19,36 @@ import (
 	"repro/internal/arch"
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/profiling"
 	"repro/internal/report"
 	"repro/internal/runner"
 	"repro/internal/workload"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+func run() int {
 	wl := flag.String("workload", "Pmake", "workload: Pmake, Multpgm, Oracle")
 	window := flag.Int64("window", int64(arch.DefaultWindow), "traced window in cycles")
 	seed := flag.Int64("seed", 1, "random seed")
 	checkFlag := flag.Bool("check", false, "run the invariant checker (lock discipline included)")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
 		"worker-pool size for the workload runs (1 = serial)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	stopProf, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	defer stopProf()
 
 	kind, err := workload.ParseKind(*wl)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		return 2
 	}
 	fmt.Fprintf(os.Stderr, "running all three workloads for Table 10, %s for the detail dump...\n", kind)
 	set := report.RunSetParallel(core.Config{Window: arch.Cycles(*window), Seed: *seed, Check: *checkFlag},
@@ -75,6 +87,7 @@ func main() {
 		bad = report.ReportViolations(os.Stderr, c.Cfg.Workload.String(), c, 1) || bad
 	}
 	if bad {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

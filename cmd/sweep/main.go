@@ -20,11 +20,14 @@ import (
 
 	"repro/internal/arch"
 	"repro/internal/core"
+	"repro/internal/profiling"
 	"repro/internal/report"
 	"repro/internal/runner"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+func run() int {
 	exp := flag.String("exp", "figure6", "figure6 or figure11")
 	window := flag.Int64("window", int64(arch.DefaultWindow), "traced window in cycles")
 	seed := flag.Int64("seed", 1, "random seed")
@@ -32,7 +35,16 @@ func main() {
 	checkFlag := flag.Bool("check", false, "run the invariant checker alongside the sweep")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
 		"worker-pool size for independent runs (1 = serial)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	stopProf, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	defer stopProf()
 
 	opts := runner.Options{Parallelism: *parallel}
 	switch *exp {
@@ -50,7 +62,7 @@ func main() {
 			bad = report.ReportViolations(os.Stderr, ch.Cfg.Workload.String(), ch, 1) || bad
 		}
 		if bad {
-			os.Exit(1)
+			return 1
 		}
 	case "figure11":
 		var counts []int
@@ -58,7 +70,7 @@ func main() {
 			n, err := strconv.Atoi(strings.TrimSpace(part))
 			if err != nil || n < 1 {
 				fmt.Fprintf(os.Stderr, "bad cpu count %q\n", part)
-				os.Exit(2)
+				return 2
 			}
 			counts = append(counts, n)
 		}
@@ -67,6 +79,7 @@ func main() {
 		fmt.Fprint(os.Stderr, batch.Table())
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
-		os.Exit(2)
+		return 2
 	}
+	return 0
 }

@@ -22,6 +22,7 @@ func main() {
 		NCPU:     8,
 		Window:   8_000_000,
 		Seed:     1,
+		Buffered: true, // the cluster repricer replays the materialized trace
 	})
 	trace := ch.Sim.Mon.Trace()
 	fmt.Printf("Multpgm on 8 CPUs: %d monitored transactions\n\n", len(trace))

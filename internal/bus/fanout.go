@@ -1,0 +1,37 @@
+package bus
+
+// Fanout duplicates every bus transaction to several recorders. It is the
+// streaming pipeline's splitter: the bus feeds the inline classifier and,
+// when the buffered oracle is also requested, the ring-buffer monitor, in
+// one pass over the transaction stream.
+type Fanout struct {
+	recs []Recorder
+}
+
+// NewFanout builds a fan-out over the given recorders, dropping nils. If
+// only one non-nil recorder remains it is returned directly (no fan-out
+// indirection on the hot path); with none, nil is returned (tracing off).
+func NewFanout(recs ...Recorder) Recorder {
+	f := &Fanout{}
+	for _, r := range recs {
+		if r != nil {
+			f.recs = append(f.recs, r)
+		}
+	}
+	switch len(f.recs) {
+	case 0:
+		return nil
+	case 1:
+		return f.recs[0]
+	}
+	return f
+}
+
+// Record forwards the transaction to every recorder in registration order.
+func (f *Fanout) Record(t Txn) {
+	for _, r := range f.recs {
+		r.Record(t)
+	}
+}
+
+var _ Recorder = (*Fanout)(nil)

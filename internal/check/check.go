@@ -148,19 +148,55 @@ const (
 	LevelL2
 )
 
-// line is the shadow state of one memory block.
-type line struct {
-	ver      int64
-	writer   arch.CPUID
-	wcycle   arch.Cycles
-	wroutine string
-	// dcopy[q] is the version CPU q's data-cache copy was filled or
-	// written with; icopy/iepoch the same for the instruction cache,
-	// where iepoch must match the CPU's current flush epoch for the copy
-	// to be considered live.
+// blocksPerPage is the number of cache blocks in one page frame; shadow
+// state is kept in dense per-frame pages rather than one heap object per
+// touched block.
+const blocksPerPage = int(arch.PageSize / arch.BlockSize)
+
+// shadowPage is the shadow state of one page frame's blocks: version
+// numbers and last-writer provenance in fixed arrays indexed by the block's
+// offset within the page, plus flattened per-CPU copy-version tables
+// (index bi*n+q) allocated lazily per reference class. It replaces the old
+// map[PAddr]*line — the per-event hot path is now two array indexings with
+// no hashing and, after the page's first touch, no allocation.
+type shadowPage struct {
+	ver      [blocksPerPage]int64
+	writer   [blocksPerPage]arch.CPUID
+	wcycle   [blocksPerPage]arch.Cycles
+	wroutine [blocksPerPage]string
+	// dcopy[bi*n+q] is the version CPU q's data-cache copy of block bi
+	// was filled or written with; icopy/iepoch the same for the
+	// instruction cache, where iepoch must match the CPU's current flush
+	// epoch for the copy to be considered live.
 	dcopy  []int64
 	icopy  []int64
 	iepoch []int64
+}
+
+func (p *shadowPage) data(n int) []int64 {
+	if p.dcopy == nil {
+		p.dcopy = make([]int64, blocksPerPage*n)
+	}
+	return p.dcopy
+}
+
+func (p *shadowPage) instr(n int) ([]int64, []int64) {
+	if p.icopy == nil {
+		p.icopy = make([]int64, blocksPerPage*n)
+		p.iepoch = make([]int64, blocksPerPage*n)
+	}
+	return p.icopy, p.iepoch
+}
+
+// provenance copies block bi's last-writer fields into an error.
+func (p *shadowPage) provenance(bi int, e *CheckError) *CheckError {
+	if p.ver[bi] > 0 {
+		e.Owner = p.writer[bi]
+		e.OwnerCycle = p.wcycle[bi]
+		e.OwnerRoutine = p.wroutine[bi]
+		e.HasOwner = true
+	}
+	return e
 }
 
 // maxErrors bounds the collected error list; Violations keeps counting.
@@ -171,7 +207,8 @@ const maxErrors = 64
 type Checker struct {
 	view BusView
 	n    int
-	mem  map[arch.PAddr]*line
+	// pages[frame] is the shadow page of that frame, nil until touched.
+	pages []*shadowPage
 	// iEpochNow[q] is bumped by every full flush of q's I-cache;
 	// copies filled under an older epoch are dead.
 	iEpochNow []int64
@@ -188,10 +225,11 @@ type Checker struct {
 	Violations int64
 	errs       []*CheckError
 
-	// Lock state (see lock.go).
+	// Lock state (see lock.go). intrLocks is a dense table indexed by
+	// interned lock-family ID.
 	held      [][]heldLock
 	intrDepth []int
-	intrLocks map[string]bool
+	intrLocks []bool
 }
 
 // New builds a checker over the given cache view.
@@ -200,11 +238,10 @@ func New(view BusView) *Checker {
 	return &Checker{
 		view:      view,
 		n:         n,
-		mem:       make(map[arch.PAddr]*line),
+		pages:     make([]*shadowPage, arch.MemFrames),
 		iEpochNow: make([]int64, n),
 		held:      make([][]heldLock, n),
 		intrDepth: make([]int, n),
-		intrLocks: make(map[string]bool),
 	}
 }
 
@@ -222,28 +259,22 @@ func (k *Checker) report(e *CheckError) {
 	}
 }
 
-func (k *Checker) line(a arch.PAddr) *line {
-	ln, ok := k.mem[a]
-	if !ok {
-		ln = &line{}
-		k.mem[a] = ln
+// page returns the shadow page of the frame containing a (allocating it on
+// first touch) and the block's index within the page.
+func (k *Checker) page(a arch.PAddr) (*shadowPage, int) {
+	f := int(a.Frame())
+	if f >= len(k.pages) {
+		grown := make([]*shadowPage, f+1)
+		copy(grown, k.pages)
+		k.pages = grown
 	}
-	return ln
-}
-
-func (ln *line) data(n int) []int64 {
-	if ln.dcopy == nil {
-		ln.dcopy = make([]int64, n)
+	pg := k.pages[f]
+	if pg == nil {
+		pg = &shadowPage{}
+		k.pages[f] = pg
 	}
-	return ln.dcopy
-}
-
-func (ln *line) instr(n int) ([]int64, []int64) {
-	if ln.icopy == nil {
-		ln.icopy = make([]int64, n)
-		ln.iepoch = make([]int64, n)
-	}
-	return ln.icopy, ln.iepoch
+	bi := int(uint32(a)>>arch.BlockShift) % blocksPerPage
+	return pg, bi
 }
 
 func (k *Checker) routine(cpu arch.CPUID) string {
@@ -253,57 +284,47 @@ func (k *Checker) routine(cpu arch.CPUID) string {
 	return k.RoutineOf(cpu)
 }
 
-// provenance copies the last-writer fields of a line into an error.
-func (ln *line) provenance(e *CheckError) *CheckError {
-	if ln.ver > 0 {
-		e.Owner = ln.writer
-		e.OwnerCycle = ln.wcycle
-		e.OwnerRoutine = ln.wroutine
-		e.HasOwner = true
-	}
-	return e
-}
-
 // OnData observes one data reference after the bus has updated all cache
 // state. a must be the block address.
 func (k *Checker) OnData(cpu arch.CPUID, a arch.PAddr, write bool, lvl Level, now arch.Cycles) {
 	k.Checks++
-	ln := k.line(a)
-	d := ln.data(k.n)
+	pg, bi := k.page(a)
+	d := pg.data(k.n)
+	base := bi * k.n
 	if write {
 		// A write that hits must be modifying the latest version (a
 		// read-modify-write of stale data is as wrong as a stale load).
-		if lvl != LevelFill && d[cpu] != ln.ver {
-			k.report(ln.provenance(&CheckError{
+		if lvl != LevelFill && d[base+int(cpu)] != pg.ver[bi] {
+			k.report(pg.provenance(bi, &CheckError{
 				Kind: Shadow, Cycle: now, CPU: cpu, Addr: a,
 				Routine: k.routine(cpu),
 				Detail: fmt.Sprintf("store hit a stale copy (copy version %d, memory version %d)",
-					d[cpu], ln.ver),
+					d[base+int(cpu)], pg.ver[bi]),
 			}))
 		}
-		ln.ver++
-		ln.writer, ln.wcycle, ln.wroutine = cpu, now, k.routine(cpu)
+		pg.ver[bi]++
+		pg.writer[bi], pg.wcycle[bi], pg.wroutine[bi] = cpu, now, k.routine(cpu)
 		// Coherence means the store is propagated: every copy still
 		// resident after the transaction (the writer's under
 		// invalidation; everyone's under update) holds the new version.
 		for q := 0; q < k.n; q++ {
 			if res, _, _ := k.view.DState(q, a); res {
-				d[q] = ln.ver
+				d[base+q] = pg.ver[bi]
 			}
 		}
 	} else if lvl == LevelFill {
 		// A fill always supplies the latest version: a dirty remote
 		// copy sources it, otherwise memory (kept current by
 		// write-backs) does.
-		d[cpu] = ln.ver
-	} else if d[cpu] != ln.ver {
-		k.report(ln.provenance(&CheckError{
+		d[base+int(cpu)] = pg.ver[bi]
+	} else if d[base+int(cpu)] != pg.ver[bi] {
+		k.report(pg.provenance(bi, &CheckError{
 			Kind: Shadow, Cycle: now, CPU: cpu, Addr: a,
 			Routine: k.routine(cpu),
 			Detail: fmt.Sprintf("load observed a stale copy (copy version %d, memory version %d)",
-				d[cpu], ln.ver),
+				d[base+int(cpu)], pg.ver[bi]),
 		}))
-		d[cpu] = ln.ver // resync so one defect does not cascade
+		d[base+int(cpu)] = pg.ver[bi] // resync so one defect does not cascade
 	}
 	k.scan(cpu, a, now)
 }
@@ -313,9 +334,9 @@ func (k *Checker) OnData(cpu arch.CPUID, a arch.PAddr, write bool, lvl Level, no
 func (k *Checker) OnBypass(cpu arch.CPUID, a arch.PAddr, write bool, now arch.Cycles) {
 	k.Checks++
 	if write {
-		ln := k.line(a)
-		ln.ver++
-		ln.writer, ln.wcycle, ln.wroutine = cpu, now, k.routine(cpu)
+		pg, bi := k.page(a)
+		pg.ver[bi]++
+		pg.writer[bi], pg.wcycle[bi], pg.wroutine[bi] = cpu, now, k.routine(cpu)
 	}
 	k.scan(cpu, a, now)
 }
@@ -332,28 +353,29 @@ func (k *Checker) OnEvict(cpu arch.CPUID, a arch.PAddr, now arch.Cycles) {
 // and this check proves it never lets a CPU execute stale instructions.
 func (k *Checker) OnFetch(cpu arch.CPUID, a arch.PAddr, hit bool, now arch.Cycles) {
 	k.Checks++
-	ln := k.line(a)
-	ic, ep := ln.instr(k.n)
+	pg, bi := k.page(a)
+	ic, ep := pg.instr(k.n)
+	i := bi*k.n + int(cpu)
 	if !hit {
-		ic[cpu] = ln.ver
-		ep[cpu] = k.iEpochNow[cpu]
+		ic[i] = pg.ver[bi]
+		ep[i] = k.iEpochNow[cpu]
 		return
 	}
-	if ep[cpu] != k.iEpochNow[cpu] {
-		k.report(ln.provenance(&CheckError{
+	if ep[i] != k.iEpochNow[cpu] {
+		k.report(pg.provenance(bi, &CheckError{
 			Kind: Shadow, Cycle: now, CPU: cpu, Addr: a,
 			Routine: k.routine(cpu),
 			Detail:  "instruction fetch hit a copy that should have been flushed",
 		}))
-	} else if ic[cpu] != ln.ver {
-		k.report(ln.provenance(&CheckError{
+	} else if ic[i] != pg.ver[bi] {
+		k.report(pg.provenance(bi, &CheckError{
 			Kind: Shadow, Cycle: now, CPU: cpu, Addr: a,
 			Routine: k.routine(cpu),
 			Detail: fmt.Sprintf("instruction fetch observed stale code (copy version %d, memory version %d)",
-				ic[cpu], ln.ver),
+				ic[i], pg.ver[bi]),
 		}))
 	}
-	ic[cpu], ep[cpu] = ln.ver, k.iEpochNow[cpu]
+	ic[i], ep[i] = pg.ver[bi], k.iEpochNow[cpu]
 }
 
 // OnIFlush records a full instruction-cache flush of one CPU (cpu >= 0)
@@ -412,8 +434,8 @@ func (k *Checker) scan(cpu arch.CPUID, a arch.PAddr, now arch.Cycles) {
 }
 
 func (k *Checker) memErr(kind Kind, cpu arch.CPUID, a arch.PAddr, now arch.Cycles, detail string) *CheckError {
-	ln := k.line(a)
-	return ln.provenance(&CheckError{
+	pg, bi := k.page(a)
+	return pg.provenance(bi, &CheckError{
 		Kind: kind, Cycle: now, CPU: cpu, Addr: a,
 		Routine: k.routine(cpu), Detail: detail,
 	})

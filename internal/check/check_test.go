@@ -188,13 +188,16 @@ func TestShadowNamesLastWriter(t *testing.T) {
 // TestLockInvariants exercises the lock-discipline checks through the
 // checker's event API.
 func TestLockInvariants(t *testing.T) {
-	type lk struct{ n string }
-	a, b := &lk{"Memlock"}, &lk{"Runqlk"}
+	type lk struct {
+		n string
+		f int
+	}
+	a, b := &lk{"Memlock", 0}, &lk{"Runqlk", 1}
 
 	t.Run("double acquire", func(t *testing.T) {
 		_, k := sys()
-		k.OnAcquire(2, a, a.n, false, 100)
-		k.OnAcquire(2, a, a.n, false, 200)
+		k.OnAcquire(2, a, a.f, a.n, false, 100)
+		k.OnAcquire(2, a, a.f, a.n, false, 200)
 		if k.Violations != 1 {
 			t.Fatalf("violations = %d, want 1", k.Violations)
 		}
@@ -209,8 +212,8 @@ func TestLockInvariants(t *testing.T) {
 
 	t.Run("release by non-owner", func(t *testing.T) {
 		_, k := sys()
-		k.OnAcquire(0, a, a.n, false, 100)
-		k.OnRelease(3, a, a.n, false, 150)
+		k.OnAcquire(0, a, a.f, a.n, false, 100)
+		k.OnRelease(3, a, a.f, a.n, false, 150)
 		if k.Violations != 1 {
 			t.Fatalf("violations = %d, want 1", k.Violations)
 		}
@@ -222,7 +225,7 @@ func TestLockInvariants(t *testing.T) {
 
 	t.Run("release of unheld lock", func(t *testing.T) {
 		_, k := sys()
-		k.OnRelease(1, b, b.n, false, 50)
+		k.OnRelease(1, b, b.f, b.n, false, 50)
 		if k.Violations != 1 {
 			t.Fatalf("violations = %d, want 1", k.Violations)
 		}
@@ -230,12 +233,12 @@ func TestLockInvariants(t *testing.T) {
 
 	t.Run("balanced holds are silent", func(t *testing.T) {
 		_, k := sys()
-		k.OnAcquire(0, a, a.n, false, 10)
-		k.OnAcquire(0, b, b.n, false, 20)
-		k.OnRelease(0, b, b.n, false, 30)
-		k.OnRelease(0, a, a.n, false, 40)
-		k.OnAcquire(0, a, a.n, false, 50) // re-acquire after release is fine
-		k.OnRelease(0, a, a.n, false, 60)
+		k.OnAcquire(0, a, a.f, a.n, false, 10)
+		k.OnAcquire(0, b, b.f, b.n, false, 20)
+		k.OnRelease(0, b, b.f, b.n, false, 30)
+		k.OnRelease(0, a, a.f, a.n, false, 40)
+		k.OnAcquire(0, a, a.f, a.n, false, 50) // re-acquire after release is fine
+		k.OnRelease(0, a, a.f, a.n, false, 60)
 		if k.Violations != 0 {
 			t.Fatalf("legal sequence tripped: %v", k.Errors()[0])
 		}
@@ -243,9 +246,9 @@ func TestLockInvariants(t *testing.T) {
 
 	t.Run("user locks exempt", func(t *testing.T) {
 		_, k := sys()
-		k.OnAcquire(0, a, "Ulock", true, 10)
-		k.OnAcquire(0, a, "Ulock", true, 20) // double-hold across preemption
-		k.OnRelease(1, a, "Ulock", true, 30) // released on another CPU
+		k.OnAcquire(0, a, 0, "Ulock", true, 10)
+		k.OnAcquire(0, a, 0, "Ulock", true, 20) // double-hold across preemption
+		k.OnRelease(1, a, 0, "Ulock", true, 30) // released on another CPU
 		if k.Violations != 0 {
 			t.Fatalf("user lock tripped kernel discipline: %v", k.Errors()[0])
 		}
@@ -255,11 +258,11 @@ func TestLockInvariants(t *testing.T) {
 		_, k := sys()
 		// The checker learns Runqlk is taken by interrupt handlers...
 		k.OnInterruptEnter(1, 100)
-		k.OnAcquire(1, b, b.n, false, 110)
-		k.OnRelease(1, b, b.n, false, 120)
+		k.OnAcquire(1, b, b.f, b.n, false, 110)
+		k.OnRelease(1, b, b.f, b.n, false, 120)
 		k.OnInterruptExit(1)
 		// ...so holding it while accepting an interrupt is flagged.
-		k.OnAcquire(0, b, b.n, false, 200)
+		k.OnAcquire(0, b, b.f, b.n, false, 200)
 		k.OnInterruptEnter(0, 210)
 		if k.Violations != 1 {
 			t.Fatalf("violations = %d, want 1", k.Violations)
@@ -295,7 +298,7 @@ func TestFailFastPanics(t *testing.T) {
 func TestViolationCap(t *testing.T) {
 	_, k := sys()
 	for i := 0; i < 200; i++ {
-		k.OnRelease(0, i, "L", false, arch.Cycles(i+1))
+		k.OnRelease(0, i, 0, "L", false, arch.Cycles(i+1))
 	}
 	if k.Violations != 200 {
 		t.Fatalf("Violations = %d, want 200", k.Violations)

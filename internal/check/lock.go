@@ -10,17 +10,35 @@ import (
 // provenance for diagnostics.
 type heldLock struct {
 	key     any
+	fam     int
 	name    string
 	cycle   arch.Cycles
 	routine string
 }
 
+// intrLock returns whether interrupt handlers are known to take locks of
+// the given family, growing the dense family table on demand (it replaces
+// a name-keyed map on the per-acquire hot path).
+func (k *Checker) intrLock(fam int) bool {
+	return fam < len(k.intrLocks) && k.intrLocks[fam]
+}
+
+func (k *Checker) markIntrLock(fam int) {
+	if fam >= len(k.intrLocks) {
+		grown := make([]bool, fam+1)
+		copy(grown, k.intrLocks)
+		k.intrLocks = grown
+	}
+	k.intrLocks[fam] = true
+}
+
 // OnAcquire observes a lock acquisition that has just succeeded. key must
 // identify the lock instance (lock families share names, so the name
-// alone is ambiguous); user-level locks are exempt from the kernel
+// alone is ambiguous); fam is the interned family ID used for the
+// interrupt-discipline table; user-level locks are exempt from the kernel
 // discipline — a user lock's holder can be preempted, migrated, or time
 // out — and are not tracked.
-func (k *Checker) OnAcquire(cpu arch.CPUID, key any, name string, user bool, now arch.Cycles) {
+func (k *Checker) OnAcquire(cpu arch.CPUID, key any, fam int, name string, user bool, now arch.Cycles) {
 	if user {
 		return
 	}
@@ -41,15 +59,15 @@ func (k *Checker) OnAcquire(cpu arch.CPUID, key any, name string, user bool, now
 	// interrupt handlers take and flags any acquisition at base level
 	// that is later interrupted (see OnInterruptEnter).
 	if k.intrDepth[cpu] > 0 {
-		k.intrLocks[name] = true
+		k.markIntrLock(fam)
 	}
-	k.held[cpu] = append(k.held[cpu], heldLock{key: key, name: name, cycle: now, routine: k.routine(cpu)})
+	k.held[cpu] = append(k.held[cpu], heldLock{key: key, fam: fam, name: name, cycle: now, routine: k.routine(cpu)})
 }
 
 // OnRelease observes a lock release about to happen. Releasing a lock the
 // CPU does not hold is a discipline violation; if another CPU holds it,
 // the error carries that owner's provenance.
-func (k *Checker) OnRelease(cpu arch.CPUID, key any, name string, user bool, now arch.Cycles) {
+func (k *Checker) OnRelease(cpu arch.CPUID, key any, fam int, name string, user bool, now arch.Cycles) {
 	if user {
 		return
 	}
@@ -85,7 +103,7 @@ func (k *Checker) OnInterruptEnter(cpu arch.CPUID, now arch.Cycles) {
 	k.Checks++
 	if k.intrDepth[cpu] == 0 {
 		for _, h := range k.held[cpu] {
-			if k.intrLocks[h.name] {
+			if k.intrLock(h.fam) {
 				k.report(&CheckError{
 					Kind: LockViolation, Cycle: now, CPU: cpu, Lock: h.name,
 					Routine: k.routine(cpu),

@@ -46,6 +46,14 @@ type Config struct {
 	// NoTrace disables the monitor and the classification; only kernel
 	// and lock statistics are collected (used by the Figure 11 sweeps).
 	NoTrace bool
+	// Buffered selects the original stop-and-drain pipeline: the monitor
+	// materializes the full transaction trace and the classifier replays
+	// it after the run, exactly as the paper's SRAM monitor + postprocess
+	// flow. The default is the streaming pipeline — the classifier rides
+	// the bus as a recorder and classifies each miss the cycle it occurs,
+	// so no trace buffer is ever allocated. Buffered remains as the
+	// oracle: both paths must produce byte-identical reports.
+	Buffered bool
 	// CollectIResim records the I-miss stream for Figure 6 sweeps.
 	CollectIResim bool
 	// CollectDResim records the data-miss stream for the §4.2.2
@@ -90,18 +98,31 @@ type Characterization struct {
 // Run executes the full pipeline.
 func Run(cfg Config) *Characterization {
 	cfg = cfg.withDefaults()
+	streaming := !cfg.NoTrace && !cfg.Buffered
 	s := sim.New(sim.Config{
 		NCPU:           cfg.NCPU,
 		Seed:           cfg.Seed,
 		Window:         cfg.Window,
 		Warmup:         cfg.Warmup,
 		NoTrace:        cfg.NoTrace,
+		Streaming:      streaming,
 		UpdateProtocol: cfg.UpdateProtocol,
 		Check:          cfg.Check,
 		Inject:         cfg.Inject,
 		Kernel: kernel.Config{Affinity: cfg.Affinity, OptimizedText: cfg.OptimizedText,
 			BlockOpBypass: cfg.BlockOpBypass},
 	})
+	var cl *trace.Classifier
+	if !cfg.NoTrace {
+		cl = trace.NewClassifier(s.K.T, s.K.L, cfg.NCPU)
+		cl.CollectIResim = cfg.CollectIResim
+		cl.CollectDResim = cfg.CollectDResim
+		if streaming {
+			// The classifier rides the bus: every transaction is
+			// classified inline, the cycle it occurs.
+			s.Stream = cl
+		}
+	}
 	workload.Setup(s.Kernel(), cfg.Workload)
 	s.Run()
 	ch := &Characterization{
@@ -110,12 +131,13 @@ func Run(cfg Config) *Characterization {
 		Ops:         s.K.Counters().Sub(s.BaseCounters),
 		CheckErrors: s.CheckErrors(),
 	}
-	if !cfg.NoTrace {
-		cl := trace.NewClassifier(s.K.T, s.K.L, cfg.NCPU)
-		cl.CollectIResim = cfg.CollectIResim
-		cl.CollectDResim = cfg.CollectDResim
-		for _, t := range s.Mon.Trace() {
-			cl.Feed(t)
+	if cl != nil {
+		if !streaming {
+			// Oracle path: replay the monitor's materialized trace, the
+			// paper's stop-and-drain postprocess.
+			for _, t := range s.Mon.Trace() {
+				cl.Feed(t)
+			}
 		}
 		ch.Trace = cl.Finish()
 	}

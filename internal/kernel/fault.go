@@ -30,7 +30,7 @@ func (k *Kernel) ptAddr(pr *Proc, vpage uint32) arch.PAddr {
 // average (Section 4.1).
 func (k *Kernel) UTLBFault(p Port, pr *Proc, vpage uint32) {
 	k.OpCounts[OpCheapTLB]++
-	p.Exec(k.T.R("utlbmiss"))
+	p.Exec(k.rt.utlbmiss)
 	// The pte read is protected by the process's Shr_x page-table lock
 	// (uncontended in practice: the lock is per-process).
 	shr := k.shrLock(pr)
@@ -60,8 +60,8 @@ func (k *Kernel) IsCOW(pr *Proc, vpage uint32) bool {
 // copy-on-write store). The simulator wraps it in an OS invocation of kind
 // OpExpensiveTLB.
 func (k *Kernel) PageFault(p Port, pr *Proc, vpage uint32, write bool) {
-	p.Exec(k.T.R("pt_lookup"))
-	p.Exec(k.T.R("pagein"))
+	p.Exec(k.rt.pt_lookup)
+	p.Exec(k.rt.pagein)
 	p.Load(k.ptAddr(pr, vpage), 4)
 
 	if pi, ok := pr.pages[vpage]; ok {

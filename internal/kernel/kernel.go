@@ -195,6 +195,7 @@ type Kernel struct {
 	L     *kmem.Layout
 	F     *kmem.Frames
 	T     *KText
+	rt    rtab // interned routine pointers (hot-path form of T.R)
 	Locks *klock.Registry
 	Rand  *rand.Rand
 
@@ -320,6 +321,7 @@ func New(cfg Config) *Kernel {
 	} else {
 		k.T = NewKText(k.L.KernelText.Base)
 	}
+	k.rt = newRtab(k.T)
 	k.Locks = klock.NewRegistry(kmem.NumProcs, 16, kmem.NumInodes, 32)
 	// Model a warmed machine: most frames hold stale page-cache data
 	// and are reclaimable only by pfdat traversal.
@@ -593,7 +595,7 @@ func (k *Kernel) touchProcEntry(p Port, pr *Proc, bytes int, write bool) {
 // Bcopy sweeps bytes from src to dst: the copy loop reads and writes whole
 // blocks, wiping a proportional slice of the data cache.
 func (k *Kernel) Bcopy(p Port, src, dst arch.PAddr, bytes int, why string) {
-	p.Exec(k.T.R(kmem.RoutineBcopy))
+	p.Exec(k.rt.bcopy)
 	p.Escape(monitor.EvBlockOp, uint32(BlockCopy), uint32(bytes))
 	if k.Cfg.BlockOpBypass {
 		// The whole extent moves through the block-transfer hardware
@@ -615,7 +617,7 @@ func (k *Kernel) Bcopy(p Port, src, dst arch.PAddr, bytes int, why string) {
 
 // Bclear zeroes bytes at dst.
 func (k *Kernel) Bclear(p Port, dst arch.PAddr, bytes int, why string) {
-	p.Exec(k.T.R(kmem.RoutineBclear))
+	p.Exec(k.rt.bclear)
 	p.Escape(monitor.EvBlockOp, uint32(BlockClear), uint32(bytes))
 	if k.Cfg.BlockOpBypass {
 		p.StoreBypass(dst, bytes)
@@ -634,7 +636,7 @@ func (k *Kernel) Bclear(p Port, dst arch.PAddr, bytes int, why string) {
 // traversePfdat is the third block operation: sweep page descriptors
 // looking for reclaimable pages, then free them.
 func (k *Kernel) traversePfdat(p Port, want int) {
-	p.Exec(k.T.R(kmem.RoutineVhand))
+	p.Exec(k.rt.vhand)
 	k.Traversals++
 	start := k.Rand.Intn(kmem.PageableFrames)
 	scanned := 0
@@ -669,7 +671,7 @@ func (k *Kernel) traversePfdat(p Port, want int) {
 // pfdat traversal under memory pressure and invalidating instruction
 // caches when a frame that held code is reallocated.
 func (k *Kernel) AllocFrame(p Port, kind kmem.FrameKind, pid arch.PID, vpage uint32) uint32 {
-	p.Exec(k.T.R("pgalloc"))
+	p.Exec(k.rt.pgalloc)
 	mem := k.Locks.Get(klock.Memlock)
 	// The pfdat traversal runs WITHOUT Memlock held (it takes hundreds
 	// of microseconds; holding the allocation lock across it would
@@ -701,7 +703,7 @@ func (k *Kernel) AllocFrame(p Port, kind kmem.FrameKind, pid arch.PID, vpage uin
 
 // FreeFrame returns a frame via the pgfree path.
 func (k *Kernel) FreeFrame(p Port, fr uint32) {
-	p.Exec(k.T.R("pgfree"))
+	p.Exec(k.rt.pgfree)
 	mem := k.Locks.Get(klock.Memlock)
 	p.Acquire(mem)
 	k.F.Free(fr)

@@ -23,7 +23,7 @@ const interactiveThreshold = 40_000 // ≈1.2 ms
 // woken interactive sleepers) enter the high-priority queue; CPU hogs
 // enter the low queue and are aged up by the clock.
 func (k *Kernel) setrq(p Port, pr *Proc) {
-	p.Exec(k.T.R("setrq"))
+	p.Exec(k.rt.setrq)
 	rq := k.Locks.Get(klock.Runqlk)
 	p.Acquire(rq)
 	p.Load(k.L.RunQueue.Base, kmem.RunQueueSize)
@@ -44,7 +44,7 @@ func (k *Kernel) setrq(p Port, pr *Proc) {
 // queue head, the priority flag and the table entries of the processes it
 // examines.
 func (k *Kernel) remrqPick(p Port) *Proc {
-	p.Exec(k.T.R("whichq"))
+	p.Exec(k.rt.whichq)
 	rq := k.Locks.Get(klock.Runqlk)
 	p.Acquire(rq)
 	p.Load(k.L.RunQueue.Base, kmem.RunQueueSize)
@@ -77,7 +77,7 @@ func (k *Kernel) remrqPick(p Port) *Proc {
 		p.Release(rq)
 		return nil
 	}
-	p.Exec(k.T.R("remrq"))
+	p.Exec(k.rt.remrq)
 	pr := (*q)[pick]
 	*q = append((*q)[:pick], (*q)[pick+1:]...)
 	p.Store(k.L.RunQueue.Base, 8)
@@ -93,9 +93,9 @@ func (k *Kernel) remrqPick(p Port) *Proc {
 // (preemption, sginap); a process that blocked is already on a sleep
 // queue.
 func (k *Kernel) ContextSwitch(p Port, old *Proc, requeueOld bool) *Proc {
-	p.Exec(k.T.R("swtch"))
+	p.Exec(k.rt.swtch)
 	if old != nil {
-		p.Exec(k.T.R("save_ctx"))
+		p.Exec(k.rt.save_ctx)
 		k.touchPCB(p, old, true)
 		k.kstackTouch(p, old, 128, true)
 		if requeueOld {
@@ -106,7 +106,7 @@ func (k *Kernel) ContextSwitch(p Port, old *Proc, requeueOld bool) *Proc {
 	if next == nil {
 		return nil
 	}
-	p.Exec(k.T.R("restore_ctx"))
+	p.Exec(k.rt.restore_ctx)
 	k.touchPCB(p, next, false)
 	k.touchURest(p, next, 128, false)
 	k.kstackTouch(p, next, 128, false)
@@ -125,7 +125,7 @@ func (k *Kernel) ContextSwitch(p Port, old *Proc, requeueOld bool) *Proc {
 // SleepProc blocks a process on a channel with a continuation to run when
 // it is next scheduled.
 func (k *Kernel) SleepProc(p Port, pr *Proc, ch SleepChan, op OpKind, cont func(Port, *Proc) SysStatus) {
-	p.Exec(k.T.R("sleep"))
+	p.Exec(k.rt.sleep)
 	k.kstackTouch(p, pr, 64, true)
 	pr.State = StateSleeping
 	pr.sleepOn = ch
@@ -141,7 +141,7 @@ func (k *Kernel) Wakeup(p Port, ch SleepChan) int {
 	if len(sleepers) == 0 {
 		return 0
 	}
-	p.Exec(k.T.R("wakeup"))
+	p.Exec(k.rt.wakeup)
 	delete(k.sleepQ, ch)
 	for _, pr := range sleepers {
 		pr.sleepOn = NoChan
@@ -161,8 +161,8 @@ func (k *Kernel) TakeContinuation(pr *Proc) (func(Port, *Proc) SysStatus, OpKind
 // EnterException models the assembly exception prologue: vector dispatch
 // and register save into the process's exception frame.
 func (k *Kernel) EnterException(p Port, pr *Proc) {
-	p.Exec(k.T.R("exc_vec"))
-	p.Exec(k.T.R("exc_save"))
+	p.Exec(k.rt.exc_vec)
+	p.Exec(k.rt.exc_save)
 	if pr != nil {
 		k.touchEframe(p, pr, true)
 		k.kstackTouch(p, pr, 64, true)
@@ -172,7 +172,7 @@ func (k *Kernel) EnterException(p Port, pr *Proc) {
 // ExitException models the epilogue: register restore from the exception
 // frame.
 func (k *Kernel) ExitException(p Port, pr *Proc) {
-	p.Exec(k.T.R("exc_restore"))
+	p.Exec(k.rt.exc_restore)
 	if pr != nil {
 		k.touchEframe(p, pr, false)
 	}
@@ -182,8 +182,8 @@ func (k *Kernel) ExitException(p Port, pr *Proc) {
 // the current process, run the callout table, and report whether the CPU
 // should reschedule.
 func (k *Kernel) ClockIntr(p Port, cur *Proc, now arch.Cycles) (resched bool) {
-	p.Exec(k.T.R("clock_intr"))
-	p.Exec(k.T.R("hardclock"))
+	p.Exec(k.rt.clock_intr)
+	p.Exec(k.rt.hardclock)
 	if cur != nil {
 		k.kstackTouch(p, cur, 64, true)
 		k.touchProcEntry(p, cur, 32, true)
@@ -198,9 +198,9 @@ func (k *Kernel) ClockIntr(p Port, cur *Proc, now arch.Cycles) (resched bool) {
 	for _, t := range k.timers {
 		if t.at <= now {
 			if fired == 0 {
-				p.Exec(k.T.R("softclock"))
+				p.Exec(k.rt.softclock)
 			}
-			p.Exec(k.T.R("timeout"))
+			p.Exec(k.rt.timeout)
 			p.Store(k.L.Callout.Base+arch.PAddr(16*(fired%64)), 16)
 			k.Wakeup(p, t.ch)
 			fired++
@@ -212,7 +212,7 @@ func (k *Kernel) ClockIntr(p Port, cur *Proc, now arch.Cycles) (resched bool) {
 	p.Release(ca)
 	// Priority aging: promote one starved CPU hog per tick (schedcpu).
 	if len(k.runqLo) > 0 {
-		p.Exec(k.T.R("schedcpu"))
+		p.Exec(k.rt.schedcpu)
 		k.runqHi = append(k.runqHi, k.runqLo[0])
 		k.runqLo = k.runqLo[1:]
 	}
@@ -225,7 +225,7 @@ func (k *Kernel) ClockIntr(p Port, cur *Proc, now arch.Cycles) (resched bool) {
 // DiskIntr handles a disk-controller completion interrupt: acknowledge the
 // controller, touch the buffer header, wake the sleeping process.
 func (k *Kernel) DiskIntr(p Port, ch SleepChan) {
-	p.Exec(k.T.R("dksc_intr"))
+	p.Exec(k.rt.dksc_intr)
 	p.UncachedRead(kmem.DevRegsBase) // controller status register
 	// Asynchronous completions (delayed writes) carry no sleep channel;
 	// Go's % keeps the sign, so a negative channel must not index the
@@ -243,10 +243,10 @@ func (k *Kernel) DiskIntr(p Port, ch SleepChan) {
 // NetIntr handles a network interrupt (CPU 1 only; the trace-transfer
 // daemons of Section 2.1 and IRIX's CPU-1-bound network functions).
 func (k *Kernel) NetIntr(p Port) {
-	p.Exec(k.T.R("net_intr"))
+	p.Exec(k.rt.net_intr)
 	p.UncachedRead(kmem.DevRegsBase + 64)
-	p.Exec(k.T.R("ip_input"))
-	p.Exec(k.T.R("net_daemon"))
+	p.Exec(k.rt.ip_input)
+	p.Exec(k.rt.net_daemon)
 	// Packet buffers live in the kernel heap's scratch area.
 	p.Store(k.L.HeapScratch(k.Rand.Intn(64)*256), 256)
 }

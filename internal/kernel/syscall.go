@@ -59,7 +59,7 @@ func (k *Kernel) userFrame(pr *Proc) (arch.PAddr, bool) {
 // structure access, and the copyin of arguments from user space (the
 // "copy of strings or system call parameters" of Table 7).
 func (k *Kernel) syscallEnter(p Port, pr *Proc, argBytes int) {
-	p.Exec(k.T.R("syscall_entry"))
+	p.Exec(k.rt.syscall_entry)
 	k.touchURest(p, pr, 64, false)
 	k.kstackTouch(p, pr, 96, true)
 	if argBytes > 0 {
@@ -72,7 +72,7 @@ func (k *Kernel) syscallEnter(p Port, pr *Proc, argBytes int) {
 
 // syscallExit stores the return values into the user structure.
 func (k *Kernel) syscallExit(p Port, pr *Proc) {
-	p.Exec(k.T.R("syscall_exit"))
+	p.Exec(k.rt.syscall_exit)
 	k.touchURest(p, pr, 32, true)
 }
 
@@ -127,8 +127,8 @@ func clampIO(n int) int {
 
 func (k *Kernel) doRead(p Port, pr *Proc, req SyscallReq) SysStatus {
 	k.syscallEnter(p, pr, 16)
-	p.Exec(k.T.R("sys_read"))
-	p.Exec(k.T.R("rwuio"))
+	p.Exec(k.rt.sys_read)
+	p.Exec(k.rt.rwuio)
 	if req.Raw {
 		return k.doReadRaw(p, pr, req)
 	}
@@ -152,7 +152,7 @@ func (k *Kernel) doRead(p Port, pr *Proc, req SyscallReq) SysStatus {
 	k.frameFile[fr] = key
 	ch := k.startDiskRead(p, key)
 	k.SleepProc(p, pr, ch, OpIOSyscall, func(p Port, pr *Proc) SysStatus {
-		p.Exec(k.T.R("ufs_readwrite"))
+		p.Exec(k.rt.ufs_readwrite)
 		k.kstackTouchAt(p, pr, 3, 192, false) // resume the sleeping frames
 		ino := k.Locks.Elem(klock.InoX, inodeIdx(req.Inode))
 		p.Acquire(ino)
@@ -197,7 +197,7 @@ func (k *Kernel) doReadRaw(p Port, pr *Proc, req SyscallReq) SysStatus {
 	p.Release(bl)
 	ch := k.startDiskRead(p, fileKey{inode: req.Inode, page: req.Offset >> arch.PageShift})
 	k.SleepProc(p, pr, ch, OpIOSyscall, func(p Port, pr *Proc) SysStatus {
-		p.Exec(k.T.R("ufs_readwrite"))
+		p.Exec(k.rt.ufs_readwrite)
 		p.Store(k.L.InodeAddr(inodeIdx(req.Inode)), 32)
 		k.syscallExit(p, pr)
 		return SysDone
@@ -218,8 +218,8 @@ func (k *Kernel) doWriteRaw(p Port, pr *Proc, req SyscallReq) SysStatus {
 	p.Acquire(bl)
 	p.Store(k.L.BufHeaderAddr(inodeIdx(req.Inode)%kmem.NumBufs), 64)
 	p.Release(bl)
-	p.Exec(k.T.R("dksc_strategy"))
-	p.Exec(k.T.R("dksc_start"))
+	p.Exec(k.rt.dksc_strategy)
+	p.Exec(k.rt.dksc_start)
 	p.UncachedRead(kmem.DevRegsBase + 16)
 	k.DiskRequests++
 	k.postEvent(p.Now()+k.Cfg.DiskLatencyCycles, IntrDisk, NoChan, 0)
@@ -230,7 +230,7 @@ func (k *Kernel) doWriteRaw(p Port, pr *Proc, req SyscallReq) SysStatus {
 // readCopyOut transfers the requested fragment from the cache page to the
 // user buffer (a regular page fragment, Table 7) and updates the inode.
 func (k *Kernel) readCopyOut(p Port, pr *Proc, fr uint32, req SyscallReq) {
-	p.Exec(k.T.R("ufs_readwrite"))
+	p.Exec(k.rt.ufs_readwrite)
 	n := clampIO(req.Bytes)
 	src := arch.FrameAddr(fr) + arch.PAddr(int(req.Offset)&(arch.PageSize-1)&^(arch.BlockSize-1))
 	if int(src.Offset())+n > arch.PageSize {
@@ -252,15 +252,15 @@ func (k *Kernel) readCopyOut(p Port, pr *Proc, fr uint32, req SyscallReq) {
 // startDiskRead issues the controller request and returns the channel the
 // completion interrupt will signal.
 func (k *Kernel) startDiskRead(p Port, key fileKey) SleepChan {
-	p.Exec(k.T.R("bread"))
-	p.Exec(k.T.R("getblk"))
+	p.Exec(k.rt.bread)
+	p.Exec(k.rt.getblk)
 	bl := k.Locks.Get(klock.Bfreelock)
 	p.Acquire(bl)
 	p.Load(k.L.BufHeaderAddr(bufIdx(key)), 64)
 	p.Store(k.L.BufHeaderAddr(bufIdx(key)), 32)
 	p.Release(bl)
-	p.Exec(k.T.R("dksc_strategy"))
-	p.Exec(k.T.R("dksc_start"))
+	p.Exec(k.rt.dksc_strategy)
+	p.Exec(k.rt.dksc_start)
 	p.UncachedRead(kmem.DevRegsBase + 16)
 	k.DiskRequests++
 	ch := k.NewChan()
@@ -272,8 +272,8 @@ func (k *Kernel) startDiskRead(p Port, key fileKey) SleepChan {
 
 func (k *Kernel) doWrite(p Port, pr *Proc, req SyscallReq) SysStatus {
 	k.syscallEnter(p, pr, 16)
-	p.Exec(k.T.R("sys_write"))
-	p.Exec(k.T.R("rwuio"))
+	p.Exec(k.rt.sys_write)
+	p.Exec(k.rt.rwuio)
 	if req.Raw {
 		return k.doWriteRaw(p, pr, req)
 	}
@@ -289,7 +289,7 @@ func (k *Kernel) doWrite(p Port, pr *Proc, req SyscallReq) SysStatus {
 		fr = k.AllocFrame(p, kmem.FrameBuf, pr.PID, 0)
 		k.fileCache[key] = fr
 		k.frameFile[fr] = key
-		p.Exec(k.T.R("fs_balloc"))
+		p.Exec(k.rt.fs_balloc)
 		dfb := k.Locks.Get(klock.Dfbmaplk)
 		p.Acquire(dfb)
 		p.Load(k.L.Dfbmap.Base+arch.PAddr(k.Rand.Intn(64)*64), 64)
@@ -317,8 +317,8 @@ func (k *Kernel) doWrite(p Port, pr *Proc, req SyscallReq) SysStatus {
 	p.Store(k.L.BufHeaderAddr(bufIdx(key)), 64)
 	// Periodic delayed write-back to disk (asynchronous: nobody sleeps).
 	if k.Rand.Intn(4) == 0 {
-		p.Exec(k.T.R("bwrite"))
-		p.Exec(k.T.R("dksc_strategy"))
+		p.Exec(k.rt.bwrite)
+		p.Exec(k.rt.dksc_strategy)
 		p.UncachedRead(kmem.DevRegsBase + 16)
 		k.DiskRequests++
 		k.postEvent(p.Now()+k.Cfg.DiskLatencyCycles, IntrDisk, NoChan, 0)
@@ -332,12 +332,12 @@ func (k *Kernel) doWrite(p Port, pr *Proc, req SyscallReq) SysStatus {
 
 func (k *Kernel) doOpen(p Port, pr *Proc, req SyscallReq) SysStatus {
 	k.syscallEnter(p, pr, 32) // the path name
-	p.Exec(k.T.R("sys_open"))
-	p.Exec(k.T.R("namei"))
+	p.Exec(k.rt.sys_open)
+	p.Exec(k.rt.namei)
 	// Directory lookup touches a couple of in-core inodes.
 	p.Load(k.L.InodeAddr(inodeIdx(req.Inode/7)), 64)
 	p.Load(k.L.InodeAddr(inodeIdx(req.Inode/3)), 64)
-	p.Exec(k.T.R("iget"))
+	p.Exec(k.rt.iget)
 	ifr := k.Locks.Get(klock.Ifree)
 	p.Acquire(ifr)
 	p.Load(k.L.InodeAddr(inodeIdx(req.Inode)), 32)
@@ -353,8 +353,8 @@ func (k *Kernel) doOpen(p Port, pr *Proc, req SyscallReq) SysStatus {
 
 func (k *Kernel) doClose(p Port, pr *Proc, req SyscallReq) SysStatus {
 	k.syscallEnter(p, pr, 8)
-	p.Exec(k.T.R("sys_close"))
-	p.Exec(k.T.R("iput"))
+	p.Exec(k.rt.sys_close)
+	p.Exec(k.rt.iput)
 	ifr := k.Locks.Get(klock.Ifree)
 	p.Acquire(ifr)
 	p.Store(k.L.InodeAddr(inodeIdx(req.Inode)), 32)
@@ -369,8 +369,8 @@ func (k *Kernel) doClose(p Port, pr *Proc, req SyscallReq) SysStatus {
 func (k *Kernel) doSpawn(p Port, pr *Proc, req SyscallReq) SysStatus {
 	spec := req.Child
 	k.syscallEnter(p, pr, 64) // argv strings
-	p.Exec(k.T.R("sys_fork"))
-	p.Exec(k.T.R("newproc"))
+	p.Exec(k.rt.sys_fork)
+	p.Exec(k.rt.newproc)
 	slot := k.freeSlot()
 	child := &Proc{
 		PID:           k.nextPID,
@@ -426,10 +426,10 @@ func (k *Kernel) doSpawn(p Port, pr *Proc, req SyscallReq) SysStatus {
 	}
 	// Exec: name lookup and image header load; text pages are mapped
 	// lazily and fault in on demand (shared with the text cache).
-	p.Exec(k.T.R("sys_exec"))
-	p.Exec(k.T.R("namei"))
+	p.Exec(k.rt.sys_exec)
+	p.Exec(k.rt.namei)
 	p.Load(k.L.InodeAddr(inodeIdx(int(child.PID))), 64)
-	p.Exec(k.T.R("load_image"))
+	p.Exec(k.rt.load_image)
 	if spec.Image != nil {
 		k.textRef[spec.Image.ID]++
 	}
@@ -443,7 +443,7 @@ func (k *Kernel) doSpawn(p Port, pr *Proc, req SyscallReq) SysStatus {
 // entries everywhere, and wake its parent.
 func (k *Kernel) ExitProc(p Port, pr *Proc) SysStatus {
 	k.syscallEnter(p, pr, 0)
-	p.Exec(k.T.R("sys_exit"))
+	p.Exec(k.rt.sys_exit)
 	// Free pages in ascending virtual order (deterministic across runs;
 	// Go map iteration order is randomized).
 	vps := make([]uint32, 0, len(pr.pages))
@@ -495,7 +495,7 @@ func (k *Kernel) ExitProc(p Port, pr *Proc) SysStatus {
 
 func (k *Kernel) doWait(p Port, pr *Proc) SysStatus {
 	k.syscallEnter(p, pr, 8)
-	p.Exec(k.T.R("sys_wait"))
+	p.Exec(k.rt.sys_wait)
 	if pr.LiveChildren == 0 {
 		k.syscallExit(p, pr)
 		return SysDone
@@ -511,7 +511,7 @@ func (k *Kernel) doWait(p Port, pr *Proc) SysStatus {
 
 func (k *Kernel) doSginap(p Port, pr *Proc) SysStatus {
 	k.syscallEnter(p, pr, 0)
-	p.Exec(k.T.R("sys_sginap"))
+	p.Exec(k.rt.sys_sginap)
 	k.touchProcEntry(p, pr, 32, true)
 	k.syscallExit(p, pr)
 	return SysYield
@@ -519,8 +519,8 @@ func (k *Kernel) doSginap(p Port, pr *Proc) SysStatus {
 
 func (k *Kernel) doNap(p Port, pr *Proc, req SyscallReq) SysStatus {
 	k.syscallEnter(p, pr, 8)
-	p.Exec(k.T.R("sys_small"))
-	p.Exec(k.T.R("timeout"))
+	p.Exec(k.rt.sys_small)
+	p.Exec(k.rt.timeout)
 	ca := k.Locks.Get(klock.Calock)
 	p.Acquire(ca)
 	p.Store(k.L.Callout.Base+arch.PAddr(16*(int(pr.PID)%64)), 16)
@@ -538,8 +538,8 @@ func (k *Kernel) doNap(p Port, pr *Proc, req SyscallReq) SysStatus {
 
 func (k *Kernel) doPipeRead(p Port, pr *Proc, req SyscallReq) SysStatus {
 	k.syscallEnter(p, pr, 8)
-	p.Exec(k.T.R("str_read"))
-	p.Exec(k.T.R("pipe_rw"))
+	p.Exec(k.rt.str_read)
+	p.Exec(k.rt.pipe_rw)
 	pipe := req.Pipe
 	str := k.Locks.Elem(klock.StreamsX, pipe.ID)
 	p.Acquire(str)
@@ -556,7 +556,7 @@ func (k *Kernel) doPipeRead(p Port, pr *Proc, req SyscallReq) SysStatus {
 }
 
 func (k *Kernel) finishPipeRead(p Port, pr *Proc, req SyscallReq) SysStatus {
-	p.Exec(k.T.R("pipe_rw"))
+	p.Exec(k.rt.pipe_rw)
 	str := k.Locks.Elem(klock.StreamsX, req.Pipe.ID)
 	p.Acquire(str)
 	st := k.finishPipeReadLocked(p, pr, req)
@@ -585,9 +585,9 @@ func (k *Kernel) finishPipeReadLocked(p Port, pr *Proc, req SyscallReq) SysStatu
 
 func (k *Kernel) doPipeWrite(p Port, pr *Proc, req SyscallReq) SysStatus {
 	k.syscallEnter(p, pr, 8)
-	p.Exec(k.T.R("str_write"))
-	p.Exec(k.T.R("pipe_rw"))
-	p.Exec(k.T.R("tty_ld"))
+	p.Exec(k.rt.str_write)
+	p.Exec(k.rt.pipe_rw)
+	p.Exec(k.rt.tty_ld)
 	pipe := req.Pipe
 	str := k.Locks.Elem(klock.StreamsX, pipe.ID)
 	p.Acquire(str)
@@ -617,7 +617,7 @@ func (k *Kernel) pipeBufAddr(pipe *Pipe) arch.PAddr {
 
 func (k *Kernel) doBrk(p Port, pr *Proc, req SyscallReq) SysStatus {
 	k.syscallEnter(p, pr, 8)
-	p.Exec(k.T.R("sys_brk"))
+	p.Exec(k.rt.sys_brk)
 	pages := req.Bytes / arch.PageSize
 	if pages < 1 {
 		pages = 1
@@ -636,7 +636,7 @@ func (k *Kernel) doBrk(p Port, pr *Proc, req SyscallReq) SysStatus {
 
 func (k *Kernel) doSmall(p Port, pr *Proc) SysStatus {
 	k.syscallEnter(p, pr, 0)
-	p.Exec(k.T.R("sys_small"))
+	p.Exec(k.rt.sys_small)
 	k.touchURest(p, pr, 16, false)
 	k.syscallExit(p, pr)
 	return SysDone
@@ -647,7 +647,7 @@ func (k *Kernel) doSmall(p Port, pr *Proc) SysStatus {
 // coordination runs through here.
 func (k *Kernel) doSemop(p Port, pr *Proc, req SyscallReq) SysStatus {
 	k.syscallEnter(p, pr, 16)
-	p.Exec(k.T.R("sys_small"))
+	p.Exec(k.rt.sys_small)
 	// A TP1 transaction locks several rows in one semop call (teller,
 	// branch, account, history): one Semlock operation per sembuf.
 	for i := 0; i < 4; i++ {
@@ -667,7 +667,7 @@ func (k *Kernel) doMisc(p Port, pr *Proc) SysStatus {
 	k.syscallEnter(p, pr, 16)
 	f := k.T.Fillers[k.Rand.Intn(len(k.T.Fillers))]
 	p.Exec(f)
-	p.Exec(k.T.R("proc_misc"))
+	p.Exec(k.rt.proc_misc)
 	k.touchURest(p, pr, 64, true)
 	k.syscallExit(p, pr)
 	return SysDone

@@ -18,6 +18,9 @@ type Routine struct {
 	Addr  arch.PAddr
 	Size  uint32
 	Group string // Table 5 operation group, "" if none
+	// GroupID is the interned form of Group, for the classifier's dense
+	// per-miss tallies.
+	GroupID GroupID
 }
 
 // Blocks returns the number of I-cache blocks the routine spans.
@@ -32,6 +35,37 @@ const (
 	GroupLowLevel = "Low-Level Exception Handling"
 	GroupRWSetup  = "Recognition and Setup of Read and Write System Calls"
 )
+
+// GroupID is the interned integer form of a Table 5 group name. The trace
+// classifier indexes its per-miss migration tallies by GroupID and resolves
+// the display strings only at Finish.
+type GroupID uint8
+
+const (
+	GroupIDNone GroupID = iota
+	GroupIDRunQueue
+	GroupIDLowLevel
+	GroupIDRWSetup
+
+	// NumGroups is the number of group IDs (array-sizing bound).
+	NumGroups
+)
+
+// groupIDs interns a group name; groupNames resolves it back ("" for none).
+var groupIDs = map[string]GroupID{
+	GroupRunQueue: GroupIDRunQueue,
+	GroupLowLevel: GroupIDLowLevel,
+	GroupRWSetup:  GroupIDRWSetup,
+}
+
+var groupNames = [NumGroups]string{
+	GroupIDRunQueue: GroupRunQueue,
+	GroupIDLowLevel: GroupLowLevel,
+	GroupIDRWSetup:  GroupRWSetup,
+}
+
+// Name returns the Table 5 display string of a group ID ("" for none).
+func (g GroupID) Name() string { return groupNames[g] }
 
 // routineSpec declares one routine of the kernel image.
 type routineSpec struct {
@@ -196,7 +230,8 @@ func newKText(base arch.PAddr, optimized bool) *KText {
 		return a
 	}
 	add := func(name string, size uint32, group string, at arch.PAddr) *Routine {
-		r := &Routine{ID: len(t.Routines), Name: name, Addr: at, Size: size, Group: group}
+		r := &Routine{ID: len(t.Routines), Name: name, Addr: at, Size: size,
+			Group: group, GroupID: groupIDs[group]}
 		t.Routines = append(t.Routines, r)
 		t.byName[name] = r
 		return r

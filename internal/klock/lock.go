@@ -58,6 +58,12 @@ const ringSize = 64
 type Lock struct {
 	// Name identifies the lock; array elements share their family name.
 	Name string
+	// Family is the interned integer ID of the lock's family, assigned
+	// sequentially by the Registry (array elements share it). The
+	// invariant checker indexes its interrupt-discipline table by this
+	// ID instead of the name string. User locks keep 0; they are exempt
+	// from the kernel lock discipline.
+	Family int
 	// User marks user-level synchronization-library locks, which are
 	// excluded from the OS synchronization statistics but still use the
 	// sync bus and trigger sginap after repeated failures.

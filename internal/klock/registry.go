@@ -53,15 +53,21 @@ func NewRegistry(nproc, nstreams, ninode, nsem int) *Registry {
 		singles:  make(map[string]*Lock),
 		families: make(map[string][]*Lock),
 	}
+	fam := 0
 	for _, n := range []string{Memlock, Runqlk, Ifree, Dfbmaplk, Bfreelock, Calock} {
-		r.singles[n] = NewLock(n)
+		l := NewLock(n)
+		l.Family = fam
+		fam++
+		r.singles[n] = l
 		r.order = append(r.order, n)
 	}
 	mkArray := func(name string, n int) {
 		arr := make([]*Lock, n)
 		for i := range arr {
 			arr[i] = NewLock(name)
+			arr[i].Family = fam
 		}
+		fam++
 		r.families[name] = arr
 		r.order = append(r.order, name)
 	}

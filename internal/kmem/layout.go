@@ -143,6 +143,65 @@ const (
 	AttrOther       = "Other"
 )
 
+// AttrID is the interned integer form of an attribution name. The trace
+// classifier tallies per-miss structure counts in dense arrays indexed by
+// AttrID and resolves the strings only once, at Finish.
+type AttrID uint8
+
+const (
+	AttrIDKernelStack AttrID = iota
+	AttrIDPCB
+	AttrIDEframe
+	AttrIDRestUser
+	AttrIDProcTable
+	AttrIDBcopy
+	AttrIDBclear
+	AttrIDPfdat
+	AttrIDBuffer
+	AttrIDInode
+	AttrIDRunQueue
+	AttrIDFreePgBuck
+	AttrIDHiNdproc
+	AttrIDKernelText
+	AttrIDOther
+
+	// NumAttrs is the number of attribution IDs (array-sizing bound).
+	NumAttrs
+)
+
+// attrNames resolves an AttrID back to its Figure 8 name.
+var attrNames = [NumAttrs]string{
+	AttrIDKernelStack: AttrKernelStack,
+	AttrIDPCB:         AttrPCB,
+	AttrIDEframe:      AttrEframe,
+	AttrIDRestUser:    AttrRestUser,
+	AttrIDProcTable:   AttrProcTable,
+	AttrIDBcopy:       AttrBcopy,
+	AttrIDBclear:      AttrBclear,
+	AttrIDPfdat:       AttrPfdat,
+	AttrIDBuffer:      AttrBuffer,
+	AttrIDInode:       AttrInode,
+	AttrIDRunQueue:    AttrRunQueue,
+	AttrIDFreePgBuck:  AttrFreePgBuck,
+	AttrIDHiNdproc:    AttrHiNdproc,
+	AttrIDKernelText:  AttrKernelText,
+	AttrIDOther:       AttrOther,
+}
+
+// Name returns the attribution name of an ID.
+func (id AttrID) Name() string { return attrNames[id] }
+
+// BlockOp identifies the block operation executing at a miss, the only
+// routine information AttributeID needs to resolve dynamically-placed
+// memory (see Attribute).
+type BlockOp uint8
+
+const (
+	BlockOpNone BlockOp = iota
+	BlockOpBcopy
+	BlockOpBclear
+)
+
 // Layout is the complete physical memory map.
 type Layout struct {
 	KernelText Region
@@ -268,45 +327,60 @@ const FirstUserFrame = uint32(ReservedFrames)
 // miss happened inside a block operation, mirroring the subroutine
 // instrumentation of Section 2.2.
 func (l *Layout) Attribute(a arch.PAddr, routine string) string {
+	op := BlockOpNone
+	switch routine {
+	case RoutineBcopy:
+		op = BlockOpBcopy
+	case RoutineBclear:
+		op = BlockOpBclear
+	}
+	return l.AttributeID(a, op).Name()
+}
+
+// AttributeID is the allocation-free form of Attribute: it resolves a
+// physical data address to an interned AttrID, taking the executing block
+// operation (instead of a routine name) to classify dynamically-placed
+// memory. Attribute delegates here so the two can never drift.
+func (l *Layout) AttributeID(a arch.PAddr, op BlockOp) AttrID {
 	switch {
 	case l.KernelText.Contains(a):
-		return AttrKernelText
+		return AttrIDKernelText
 	case l.ProcTable.Contains(a):
-		return AttrProcTable
+		return AttrIDProcTable
 	case l.RunQueue.Contains(a):
-		return AttrRunQueue
+		return AttrIDRunQueue
 	case l.HiNdproc.Contains(a):
-		return AttrHiNdproc
+		return AttrIDHiNdproc
 	case l.FreePgBuck.Contains(a):
-		return AttrFreePgBuck
+		return AttrIDFreePgBuck
 	case l.InodeTable.Contains(a):
-		return AttrInode
+		return AttrIDInode
 	case l.BufHeaders.Contains(a):
-		return AttrBuffer
+		return AttrIDBuffer
 	case l.Pfdat.Contains(a):
-		return AttrPfdat
+		return AttrIDPfdat
 	case l.UPages.Contains(a):
 		off := uint32(a-l.UPages.Base) % (UStructSize + KStackSize)
 		switch {
 		case off < PCBSize:
-			return AttrPCB
+			return AttrIDPCB
 		case off < PCBSize+EframeSize:
-			return AttrEframe
+			return AttrIDEframe
 		case off < UStructSize:
-			return AttrRestUser
+			return AttrIDRestUser
 		default:
-			return AttrKernelStack
+			return AttrIDKernelStack
 		}
 	}
 	// Dynamically-placed memory: attribute to the block operation in
 	// progress, if any.
-	switch routine {
-	case RoutineBcopy:
-		return AttrBcopy
-	case RoutineBclear:
-		return AttrBclear
+	switch op {
+	case BlockOpBcopy:
+		return AttrIDBcopy
+	case BlockOpBclear:
+		return AttrIDBclear
 	}
-	return AttrOther
+	return AttrIDOther
 }
 
 // Table3Sizes returns the structure-name → size mapping the paper's Table 3

@@ -179,22 +179,33 @@ type Record struct {
 // Decoder converts a raw transaction stream back into misses and events.
 // It keeps per-CPU pending-event state, mirroring how the postprocessing
 // program matches operand reads to the preceding event-start read from the
-// same CPU.
+// same CPU. The per-CPU slots are a dense slice (not a map) so the
+// per-transaction hot path never allocates or hashes.
 type Decoder struct {
-	pending map[arch.CPUID]*pendingEvent
+	pending []pendingEvent // indexed by CPU, grown on demand
 	// Malformed counts stray operand reads with no pending event.
 	Malformed int
 }
 
 type pendingEvent struct {
-	rec  Record
-	need int
-	got  int
+	rec    Record
+	need   int
+	got    int
+	active bool
 }
 
 // NewDecoder returns a fresh decoder.
-func NewDecoder() *Decoder {
-	return &Decoder{pending: make(map[arch.CPUID]*pendingEvent)}
+func NewDecoder() *Decoder { return &Decoder{} }
+
+// slot returns the pending-event slot of a CPU, growing the table on the
+// first transaction seen from a higher-numbered CPU.
+func (d *Decoder) slot(cpu arch.CPUID) *pendingEvent {
+	if int(cpu) >= len(d.pending) {
+		grown := make([]pendingEvent, int(cpu)+1)
+		copy(grown, d.pending)
+		d.pending = grown
+	}
+	return &d.pending[cpu]
 }
 
 // Feed consumes one transaction and returns a completed record, if any.
@@ -205,32 +216,32 @@ func (d *Decoder) Feed(t bus.Txn) (Record, bool) {
 		return Record{Txn: t}, true
 	}
 	if ev, ok := DecodeEventAddr(t.Addr); ok {
-		if d.pending[t.CPU] != nil {
+		p := d.slot(t.CPU)
+		if p.active {
 			// A new event started before the previous one's
 			// operands completed: the old event is lost.
 			d.Malformed++
 		}
-		p := &pendingEvent{
+		*p = pendingEvent{
 			rec:  Record{Txn: t, IsEvent: true, Event: ev},
 			need: ev.Arity(),
 		}
 		if p.need == 0 {
-			delete(d.pending, t.CPU)
 			return p.rec, true
 		}
-		d.pending[t.CPU] = p
+		p.active = true
 		return Record{}, false
 	}
 	// Operand read.
-	p := d.pending[t.CPU]
-	if p == nil {
+	p := d.slot(t.CPU)
+	if !p.active {
 		d.Malformed++
 		return Record{}, false
 	}
 	p.rec.Args[p.got] = DecodeOperandAddr(t.Addr)
 	p.got++
 	if p.got == p.need {
-		delete(d.pending, t.CPU)
+		p.active = false
 		return p.rec, true
 	}
 	return Record{}, false

@@ -1,0 +1,50 @@
+// Package profiling wires the standard runtime/pprof collectors into the
+// command-line tools: every CLI exposes a -cpuprofile/-memprofile pair so
+// the streaming pipeline's hot paths can be inspected with `go tool pprof`
+// without recompiling.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling to cpuPath (empty = off) and returns a stop
+// function that finishes the CPU profile and writes the heap profile to
+// memPath (empty = off). The stop function must run before the process
+// exits — call it via defer from a run() helper that returns an exit code
+// instead of calling os.Exit directly.
+func Start(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, err
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath == "" {
+			return
+		}
+		f, err := os.Create(memPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "memprofile:", err)
+			return
+		}
+		defer f.Close()
+		runtime.GC() // capture the steady-state heap, not transient garbage
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "memprofile:", err)
+		}
+	}, nil
+}

@@ -56,6 +56,35 @@ func TestParallelRunSetByteIdentical(t *testing.T) {
 	diffLines(t, "report", render(1), render(8))
 }
 
+// TestStreamingMatchesBufferedReports is the streaming pipeline's oracle:
+// classifying every transaction inline, the cycle it occurs, must render
+// every table and figure byte-for-byte identically to the stop-and-drain
+// pipeline that materializes the monitor trace and replays it after the
+// run — for all three workloads, serially and under the worker pool.
+func TestStreamingMatchesBufferedReports(t *testing.T) {
+	for _, par := range []int{1, 8} {
+		render := func(buffered bool) string {
+			set := RunSetParallel(core.Config{
+				Window: 600_000, Warmup: 300_000, Seed: 11, Check: true,
+				Buffered: buffered,
+			}, runner.Options{Parallelism: par})
+			return All(set)
+		}
+		streaming, buffered := render(false), render(true)
+		if streaming != buffered {
+			la, lb := splitLines(streaming), splitLines(buffered)
+			for i := 0; i < len(la) && i < len(lb); i++ {
+				if la[i] != lb[i] {
+					t.Fatalf("parallelism %d: reports diverge at line %d:\n  streaming: %s\n  buffered:  %s",
+						par, i+1, la[i], lb[i])
+				}
+			}
+			t.Fatalf("parallelism %d: reports differ in length: %d vs %d bytes",
+				par, len(streaming), len(buffered))
+		}
+	}
+}
+
 // TestParallelFigure11ByteIdentical covers the other fan-out entry point:
 // the lock-contention sweep over CPU counts.
 func TestParallelFigure11ByteIdentical(t *testing.T) {

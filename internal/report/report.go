@@ -287,7 +287,14 @@ func Figure5(s *Set) string {
 		entries = append(entries, entry{r.Name, float64(r.Addr) / float64(arch.ICacheSize), n})
 		total += n
 	}
-	sort.Slice(entries, func(i, j int) bool { return entries[i].count > entries[j].count })
+	sort.Slice(entries, func(i, j int) bool {
+		// Name tie-break: DisposIByRoutine is map-ordered, and equal counts
+		// must not flip rows between runs (reports are diffed byte-for-byte).
+		if entries[i].count != entries[j].count {
+			return entries[i].count > entries[j].count
+		}
+		return entries[i].name < entries[j].name
+	})
 	t := metrics.NewTable("Figure 5: Self-interference (Dispos) I-misses by OS routine (Pmake)",
 		"Routine", "Addr/64KB", "Misses", "Share%")
 	top := 12

@@ -196,9 +196,9 @@ func (c *CPU) RoutineName() string {
 // Acquire spins on a kernel lock via the synchronization bus. Wait time is
 // charged as sync cycles on top of the clock advance.
 func (c *CPU) Acquire(l *klock.Lock) {
-	c.execQuiet(c.sim.K.T.R("lock_acquire"))
+	c.execQuiet(c.sim.rLockAcquire)
 	if chk := c.sim.Chk; chk != nil {
-		chk.OnAcquire(c.id, l, l.Name, l.User, c.now)
+		chk.OnAcquire(c.id, l, l.Family, l.Name, l.User, c.now)
 	}
 	at, _ := l.Acquire(c.id, c.now)
 	l.NoteOwner(c.RoutineName())
@@ -213,9 +213,9 @@ func (c *CPU) Acquire(l *klock.Lock) {
 
 // Release frees a kernel lock.
 func (c *CPU) Release(l *klock.Lock) {
-	c.execQuiet(c.sim.K.T.R("lock_release"))
+	c.execQuiet(c.sim.rLockRelease)
 	if chk := c.sim.Chk; chk != nil {
-		chk.OnRelease(c.id, l, l.Name, l.User, c.now)
+		chk.OnRelease(c.id, l, l.Family, l.Name, l.User, c.now)
 	}
 	l.Release(c.id, c.now)
 	cost := arch.Cycles(klock.ReleaseCycles)

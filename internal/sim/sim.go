@@ -33,6 +33,12 @@ type Config struct {
 	// NoTrace disables the monitor entirely (kernel-counter-only runs,
 	// e.g. the Figure 11 CPU sweeps).
 	NoTrace bool
+	// Streaming skips the monitor's trace buffer: no Monitor is built,
+	// and the recorder assigned to Simulator.Stream (e.g. an inline
+	// trace.Classifier) is attached to the bus when tracing starts. The
+	// master-process dump logic is a no-op in this mode — there is no
+	// buffer to fill, so the workload is never suspended.
+	Streaming bool
 	// UpdateProtocol switches the bus to write-update coherence (the
 	// protocol ablation).
 	UpdateProtocol bool
@@ -84,7 +90,12 @@ type Simulator struct {
 	K    *kernel.Kernel
 	Bus  *bus.System
 	Mon  *monitor.Monitor
-	CPUs []*CPU
+	// Stream, when non-nil, is attached to the bus at trace start (after
+	// warmup) and consumes every transaction inline; with a Monitor also
+	// present the two share the stream through a bus.Fanout. Set it
+	// before Run — typically to a trace.Classifier, which core wires up.
+	Stream bus.Recorder
+	CPUs   []*CPU
 	// Chk is the invariant checker (nil unless Cfg.Check).
 	Chk *check.Checker
 	// Inj is the fault injector (nil unless Cfg.Inject is enabled).
@@ -93,6 +104,12 @@ type Simulator struct {
 	traceEscapes bool
 	end          arch.Cycles
 	nextNet      arch.Cycles
+
+	// Cached routine pointers for the per-step hot paths (resolved once
+	// at construction, avoiding the KText name-map lookup per call).
+	rIdleLoop    *kernel.Routine
+	rLockAcquire *kernel.Routine
+	rLockRelease *kernel.Routine
 
 	// TraceStartAt is when tracing was enabled (for rate computations).
 	TraceStartAt arch.Cycles
@@ -115,7 +132,12 @@ func New(cfg Config) *Simulator {
 	cfg = cfg.withDefaults()
 	s := &Simulator{Cfg: cfg}
 	s.K = kernel.New(cfg.Kernel)
-	if cfg.NoTrace {
+	s.rIdleLoop = s.K.T.R("idle_loop")
+	s.rLockAcquire = s.K.T.R("lock_acquire")
+	s.rLockRelease = s.K.T.R("lock_release")
+	if cfg.NoTrace || cfg.Streaming {
+		// Streaming mode has no trace buffer; the inline recorder is
+		// attached at trace start (Run), once warmup is over.
 		s.Bus = bus.NewSystem(cfg.NCPU, nil)
 	} else {
 		s.Mon = monitor.New(cfg.MonitorCap)
@@ -184,6 +206,15 @@ func (s *Simulator) Run() {
 	if s.Mon != nil {
 		s.Mon.SetEnabled(true)
 	}
+	if s.Stream != nil {
+		// Attach the inline consumer; with a buffered monitor also
+		// present, fan the stream out to both.
+		if s.Mon != nil {
+			s.Bus.SetRecorder(bus.NewFanout(s.Mon, s.Stream))
+		} else {
+			s.Bus.SetRecorder(s.Stream)
+		}
+	}
 	s.TraceStartAt = s.minClock()
 	s.BaseCounters = s.K.Counters()
 	s.K.Locks.ResetStats()
@@ -242,6 +273,8 @@ func (s *Simulator) step(c *CPU) {
 		s.syncEscape(c)
 	}
 	// The master process: dump the trace buffer before it overflows.
+	// Without a buffer (streaming or no-trace runs) there is nothing to
+	// fill, so the suspend/dump logic must never fire.
 	if s.Mon != nil && s.Mon.FillFraction() > s.Cfg.MasterThreshold {
 		c.Escape(monitor.EvSuspend)
 		s.Mon.Dump()
@@ -490,7 +523,7 @@ func (s *Simulator) idleLoop(c *CPU) {
 		return
 	}
 	// Spin in the idle loop: fetch it and poll the run-queue head.
-	c.execQuiet(s.K.T.R("idle_loop"))
+	c.execQuiet(s.rIdleLoop)
 	c.dataRef(s.K.L.RunQueue.Base, false)
 	c.adv(idleStep)
 }

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/arch"
+	"repro/internal/bus"
 	"repro/internal/kernel"
 	"repro/internal/klock"
 	"repro/internal/monitor"
@@ -138,6 +139,62 @@ func TestUserLocksProduceSginap(t *testing.T) {
 	}
 	if s.K.OpCounts[kernel.OpSginap] == 0 {
 		t.Error("contended user lock never triggered sginap")
+	}
+}
+
+// suspendProbe is a streaming recorder that decodes escapes on the fly and
+// counts master-process suspend events.
+type suspendProbe struct {
+	dec      monitor.Decoder
+	total    int
+	suspends int
+}
+
+func (p *suspendProbe) Record(t bus.Txn) {
+	p.total++
+	if r, ok := p.dec.Feed(t); ok && r.IsEvent && r.Event == monitor.EvSuspend {
+		p.suspends++
+	}
+}
+
+// TestStreamingNeverSuspends pins the master-process/streaming interaction:
+// the dump logic exists to drain the monitor's buffer before it overflows,
+// so with no buffer (streaming mode) it must be a no-op — even under a
+// capacity and threshold that force constant dumping in buffered mode.
+func TestStreamingNeverSuspends(t *testing.T) {
+	spawn := func(s *Simulator) {
+		for i := 0; i < 4; i++ {
+			s.K.CreateProc(&kernel.ProcSpec{
+				Name:      "mix",
+				Image:     s.K.NewImage("mix", 8),
+				DataPages: 8,
+				Behavior: &loopBehavior{compute: 10_000,
+					req:   kernel.SyscallReq{Kind: kernel.SysWrite},
+					inode: i},
+			})
+		}
+	}
+	// Buffered control: this configuration dumps repeatedly.
+	b := smallSim(t, Config{MonitorCap: 1 << 16})
+	spawn(b)
+	b.Run()
+	if b.Mon.Suspends == 0 {
+		t.Fatal("control run never dumped; the threshold was not exercised")
+	}
+	// Same machine, streaming: no monitor, no dumps, no suspensions.
+	s := smallSim(t, Config{MonitorCap: 1 << 16, Streaming: true})
+	probe := &suspendProbe{}
+	s.Stream = probe
+	spawn(s)
+	s.Run()
+	if s.Mon != nil {
+		t.Fatal("streaming run built a trace buffer")
+	}
+	if probe.total == 0 {
+		t.Fatal("stream recorder saw no transactions")
+	}
+	if probe.suspends != 0 {
+		t.Errorf("streaming run suspended the workload %d times; want 0", probe.suspends)
 	}
 }
 

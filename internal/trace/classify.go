@@ -238,6 +238,23 @@ func (cs *cpuState) op() kernel.OpKind {
 	return cs.opStack[len(cs.opStack)-1]
 }
 
+// Migration-family indices for the dense migration tally (resolved to the
+// Family* strings at Finish).
+const (
+	famKernelStack = iota
+	famUserStruct
+	famProcTable
+	numFamilies
+)
+
+// Block-operation indices for the dense Table 6 tally.
+const (
+	blockOpBcopy = iota
+	blockOpBclear
+	blockOpVhand
+	numBlockOps
+)
+
 // Classifier processes a trace incrementally.
 type Classifier struct {
 	kt     *kernel.KText
@@ -252,6 +269,20 @@ type Classifier struct {
 	epoch []uint32
 
 	frameCode []bool // frame → holds code
+
+	// Interned routine IDs of the block operations, for the per-miss
+	// attribution without name lookups.
+	bcopyID, bclearID, vhandID int
+
+	// Dense per-miss tallies indexed by interned IDs; Finish resolves
+	// them into the string-keyed Result maps. The hot path never touches
+	// a map or a string.
+	structAll     [kmem.NumAttrs]int64
+	structSharing [kmem.NumAttrs]int64
+	migByStruct   [numFamilies]int64
+	migByGroup    [kernel.NumGroups]int64
+	blockOpD      [numBlockOps]int64
+	disposI       []int64 // by routine ID
 
 	// CollectIResim records the I-miss stream into Result.IResim.
 	CollectIResim bool
@@ -271,6 +302,10 @@ func NewClassifier(kt *kernel.KText, layout *kmem.Layout, ncpu int) *Classifier 
 		cause:     make([]uint8, ncpu*2*nBlocks),
 		epoch:     make([]uint32, ncpu*2*nBlocks),
 		frameCode: make([]bool, arch.MemFrames),
+		bcopyID:   kt.R(kmem.RoutineBcopy).ID,
+		bclearID:  kt.R(kmem.RoutineBclear).ID,
+		vhandID:   kt.R(kmem.RoutineVhand).ID,
+		disposI:   make([]int64, len(kt.Routines)),
 		res: &Result{
 			NCPU:              ncpu,
 			StructSharing:     map[string]int64{},
@@ -332,6 +367,13 @@ func (c *Classifier) Feed(t bus.Txn) {
 	c.miss(rec.Txn)
 }
 
+// Record implements bus.Recorder: attached directly to the bus (or through
+// a bus.Fanout), the classifier consumes each transaction the cycle it
+// occurs — the streaming pipeline, with no intermediate trace buffer.
+func (c *Classifier) Record(t bus.Txn) { c.Feed(t) }
+
+var _ bus.Recorder = (*Classifier)(nil)
+
 // MirrorResident returns the block resident in the given mirror-cache set
 // (instr selects the I- or D-mirror), for the cross-validation tests that
 // compare the trace-reconstructed state against the simulator's real
@@ -348,11 +390,47 @@ func (c *Classifier) MirrorResident(cpu arch.CPUID, instr bool, set int) (block 
 	return b, b != noBlock
 }
 
-// Finish closes open segments and returns the result.
+// Finish closes open segments, resolves the dense interned tallies into
+// the string-keyed Result maps (only non-zero entries get keys, matching
+// the lazy map semantics of the buffered pipeline), and returns the result.
 func (c *Classifier) Finish() *Result {
 	c.res.Malformed = c.dec.Malformed
 	for i, cs := range c.cpus {
 		cs.seg.close(&c.res.Segments[i])
+	}
+	for id := kmem.AttrID(0); id < kmem.NumAttrs; id++ {
+		if v := c.structAll[id]; v != 0 {
+			c.res.StructAll[id.Name()] = v
+		}
+		if v := c.structSharing[id]; v != 0 {
+			c.res.StructSharing[id.Name()] = v
+		}
+	}
+	famNames := [numFamilies]string{FamilyKernelStack, FamilyUserStruct, FamilyProcTable}
+	for fam, v := range c.migByStruct {
+		if v != 0 {
+			c.res.MigrationByStruct[famNames[fam]] = v
+		}
+	}
+	for g := kernel.GroupID(0); g < kernel.NumGroups; g++ {
+		if v := c.migByGroup[g]; v != 0 {
+			name := g.Name()
+			if name == "" {
+				name = "Other"
+			}
+			c.res.MigrationByGroup[name] = v
+		}
+	}
+	for id, v := range c.disposI {
+		if v != 0 {
+			c.res.DisposIByRoutine[id] = v
+		}
+	}
+	opNames := [numBlockOps]string{kmem.RoutineBcopy, kmem.RoutineBclear, kmem.RoutineVhand}
+	for op, v := range c.blockOpD {
+		if v != 0 {
+			c.res.BlockOpDMisses[opNames[op]] = v
+		}
 	}
 	return c.res
 }
@@ -654,46 +732,52 @@ func (c *Classifier) tally(cs *cpuState, t bus.Txn, instr bool, class MissClass,
 	if instr {
 		if class == DispOS {
 			if r := c.kt.At(t.Addr); r != nil {
-				c.res.DisposIByRoutine[r.ID]++
+				c.disposI[r.ID]++
 			}
 		}
 		return
 	}
-	// Data-structure attribution.
-	routineName := ""
-	if cs.routine >= 0 && cs.routine < len(c.kt.Routines) {
-		routineName = c.kt.ByID(cs.routine).Name
+	// Data-structure attribution, entirely on interned IDs: the executing
+	// routine is compared by ID, the structure resolved to an AttrID.
+	rid := cs.routine
+	bop := kmem.BlockOpNone
+	switch rid {
+	case c.bcopyID:
+		bop = kmem.BlockOpBcopy
+	case c.bclearID:
+		bop = kmem.BlockOpBclear
 	}
-	structName := c.layout.Attribute(t.Addr, routineName)
-	c.res.StructAll[structName] += 1
+	structID := c.layout.AttributeID(t.Addr, bop)
+	c.structAll[structID]++
 	if class == Sharing {
-		c.res.StructSharing[structName]++
+		c.structSharing[structID]++
 		// Migration misses: Sharing misses on per-process state.
-		var fam string
-		switch structName {
-		case kmem.AttrKernelStack:
-			fam = FamilyKernelStack
-		case kmem.AttrPCB, kmem.AttrEframe, kmem.AttrRestUser:
-			fam = FamilyUserStruct
-		case kmem.AttrProcTable:
-			fam = FamilyProcTable
+		fam := -1
+		switch structID {
+		case kmem.AttrIDKernelStack:
+			fam = famKernelStack
+		case kmem.AttrIDPCB, kmem.AttrIDEframe, kmem.AttrIDRestUser:
+			fam = famUserStruct
+		case kmem.AttrIDProcTable:
+			fam = famProcTable
 		}
-		if fam != "" {
+		if fam >= 0 {
 			c.res.MigrationTotal++
-			c.res.MigrationByStruct[fam]++
-			group := ""
-			if cs.routine >= 0 && cs.routine < len(c.kt.Routines) {
-				group = c.kt.ByID(cs.routine).Group
+			c.migByStruct[fam]++
+			group := kernel.GroupIDNone
+			if rid >= 0 && rid < len(c.kt.Routines) {
+				group = c.kt.ByID(rid).GroupID
 			}
-			if group == "" {
-				group = "Other"
-			}
-			c.res.MigrationByGroup[group]++
+			c.migByGroup[group]++
 		}
 	}
 	// Block-operation attribution (Table 6).
-	switch routineName {
-	case kmem.RoutineBcopy, kmem.RoutineBclear, kmem.RoutineVhand:
-		c.res.BlockOpDMisses[routineName]++
+	switch rid {
+	case c.bcopyID:
+		c.blockOpD[blockOpBcopy]++
+	case c.bclearID:
+		c.blockOpD[blockOpBclear]++
+	case c.vhandID:
+		c.blockOpD[blockOpVhand]++
 	}
 }

@@ -1,0 +1,59 @@
+#!/bin/sh
+# Benchmark harness: runs the repo's benchmark suite under -benchmem and
+# renders the results as JSON (ns/op, B/op, allocs/op per benchmark run).
+# The format and the baseline/current phase convention are documented in
+# EXPERIMENTS.md; BENCH_PR3.json in the repo root was produced with it.
+#
+# Usage:
+#   scripts/bench.sh                                  # default suite -> BENCH.json
+#   scripts/bench.sh -phase baseline -out before.json # label a pre-change run
+#   scripts/bench.sh -count 5 -bench 'Pipeline'       # more repetitions, one bench
+set -eu
+
+cd "$(dirname "$0")/.."
+
+count=3
+bench='BenchmarkPipeline_FullCharacterization|BenchmarkClassifierThroughput'
+phase=current
+out=BENCH.json
+
+while [ $# -gt 0 ]; do
+    case "$1" in
+        -count) count=$2; shift 2 ;;
+        -bench) bench=$2; shift 2 ;;
+        -phase) phase=$2; shift 2 ;;
+        -out)   out=$2;   shift 2 ;;
+        *) echo "usage: $0 [-count N] [-bench REGEX] [-phase LABEL] [-out FILE]" >&2; exit 2 ;;
+    esac
+done
+
+raw=$(go test -run '^$' -bench "$bench" -benchmem -count "$count" .)
+printf '%s\n' "$raw" >&2
+
+printf '%s\n' "$raw" | awk -v phase="$phase" '
+/^goos:/   { goos = $2 }
+/^goarch:/ { goarch = $2 }
+/^cpu:/    { sub(/^cpu: */, ""); cpu = $0 }
+/^Benchmark/ {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    ns = ""; b = ""; al = ""
+    for (i = 3; i <= NF; i++) {
+        if ($i == "ns/op") ns = $(i - 1)
+        else if ($i == "B/op") b = $(i - 1)
+        else if ($i == "allocs/op") al = $(i - 1)
+    }
+    if (ns == "" || b == "" || al == "") next
+    entries[n++] = sprintf("    {\"name\": \"%s\", \"phase\": \"%s\", \"iters\": %s, \"ns_op\": %s, \"b_op\": %s, \"allocs_op\": %s}",
+        name, phase, $2, ns, b, al)
+}
+END {
+    if (n == 0) { print "bench.sh: no benchmark results parsed" > "/dev/stderr"; exit 1 }
+    printf "{\n"
+    printf "  \"goos\": \"%s\",\n  \"goarch\": \"%s\",\n  \"cpu\": \"%s\",\n", goos, goarch, cpu
+    printf "  \"entries\": [\n"
+    for (i = 0; i < n; i++) printf "%s%s\n", entries[i], (i < n - 1 ? "," : "")
+    printf "  ]\n}\n"
+}
+' > "$out"
+
+echo "wrote $out" >&2

@@ -28,4 +28,12 @@ if [ "$serial" != "$pooled" ]; then
     exit 1
 fi
 
+echo "== streaming-vs-buffered determinism smoke (charos -buffered)"
+streaming=$(go run ./cmd/charos -exp table1 -window 2000000 2>/dev/null)
+buffered=$(go run ./cmd/charos -exp table1 -window 2000000 -buffered 2>/dev/null)
+if [ "$streaming" != "$buffered" ]; then
+    echo "FAIL: streaming pipeline output diverges from the buffered oracle" >&2
+    exit 1
+fi
+
 echo "ok"
