@@ -51,6 +51,8 @@ func run() int {
 		"worker-pool size for the three workload runs (1 = serial)")
 	buffered := flag.Bool("buffered", false,
 		"use the stop-and-drain pipeline (materialize the monitor trace, classify post-run) instead of streaming classification")
+	reference := flag.Bool("reference", false,
+		"run the generic oracle paths (way-loop caches, full snoop broadcasts, rescan scheduler) instead of the memory-system fast path")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -85,6 +87,7 @@ func run() int {
 		Check:         *checkFlag,
 		Inject:        injectCfg,
 		Buffered:      *buffered,
+		Reference:     *reference,
 		CollectIResim: name == "all" || name == "figure6",
 	}
 
@@ -104,6 +107,7 @@ func run() int {
 			Workload: workload.Multpgm, NCPU: 8,
 			Window: arch.Cycles(*window), Seed: *seed,
 			Check: *checkFlag, Inject: injectCfg, Buffered: true,
+			Reference: *reference,
 		})
 		results := cluster.Study(ch.Sim.Mon.Trace(), ch.Sim.K.L, 8, 2)
 		fmt.Print(cluster.Render(results, "Multpgm, 4 clusters of 2"))

@@ -32,6 +32,8 @@ func run() int {
 	window := flag.Int64("window", int64(arch.DefaultWindow), "traced window in cycles")
 	seed := flag.Int64("seed", 1, "random seed")
 	checkFlag := flag.Bool("check", false, "run the invariant checker (lock discipline included)")
+	reference := flag.Bool("reference", false,
+		"run the generic oracle paths instead of the memory-system fast path")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
 		"worker-pool size for the workload runs (1 = serial)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -51,7 +53,7 @@ func run() int {
 		return 2
 	}
 	fmt.Fprintf(os.Stderr, "running all three workloads for Table 10, %s for the detail dump...\n", kind)
-	set := report.RunSetParallel(core.Config{Window: arch.Cycles(*window), Seed: *seed, Check: *checkFlag},
+	set := report.RunSetParallel(core.Config{Window: arch.Cycles(*window), Seed: *seed, Check: *checkFlag, Reference: *reference},
 		runner.Options{Parallelism: *parallel})
 	fmt.Print(report.Table10(set))
 	fmt.Print(report.Table11())

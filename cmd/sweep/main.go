@@ -33,6 +33,8 @@ func run() int {
 	seed := flag.Int64("seed", 1, "random seed")
 	cpus := flag.String("cpus", "2,4,6,8,12,16", "CPU counts for figure11")
 	checkFlag := flag.Bool("check", false, "run the invariant checker alongside the sweep")
+	reference := flag.Bool("reference", false,
+		"run the generic oracle paths instead of the memory-system fast path")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
 		"worker-pool size for independent runs (1 = serial)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -51,7 +53,7 @@ func run() int {
 	case "figure6":
 		set := report.RunSetParallel(core.Config{
 			Window: arch.Cycles(*window), Seed: *seed, CollectIResim: true,
-			Check: *checkFlag,
+			Check: *checkFlag, Reference: *reference,
 		}, opts)
 		fmt.Print(report.Figure6(set))
 		fmt.Fprint(os.Stderr, set.Stats.Table())

@@ -13,6 +13,7 @@
 package bus
 
 import (
+	"math/bits"
 	"math/rand"
 
 	"repro/internal/arch"
@@ -134,6 +135,13 @@ type System struct {
 	// CPU-stalling bus transaction (fault injection).
 	Jitter func() arch.Cycles
 
+	// Reference selects the generic oracle paths (full snoop loops, no
+	// presence filter, way-loop caches). Set via SetReference.
+	Reference bool
+	// pres is the snoop presence filter (nil in reference mode or beyond
+	// maxPresenceCPUs, where the full loops run instead).
+	pres *presence
+
 	Stats Stats
 }
 
@@ -173,7 +181,28 @@ func NewSystem(n int, rec Recorder) *System {
 		s.I[i] = cache.New("icache", arch.ICacheSize, 1)
 		s.D[i] = cache.NewDataHierarchy("dcache")
 	}
+	if n <= maxPresenceCPUs {
+		s.pres = newPresence()
+	}
 	return s
+}
+
+// SetReference switches the system between the fast path (default) and the
+// generic oracle: way-loop/LRU cache code, full snoop and invalidation
+// broadcasts, no presence filter. Call it before any traffic — both modes
+// must produce byte-identical results, which the fast-vs-reference
+// determinism test proves.
+func (s *System) SetReference(ref bool) {
+	s.Reference = ref
+	if ref {
+		s.pres = nil
+	} else if s.pres == nil && s.N <= maxPresenceCPUs {
+		s.pres = newPresence()
+	}
+	for q := 0; q < s.N; q++ {
+		s.I[q].SetGeneric(ref)
+		s.D[q].SetGeneric(ref)
+	}
 }
 
 // SetRecorder replaces the transaction recorder (used when the monitor is
@@ -204,6 +233,15 @@ type Outcome struct {
 // Fetch performs an instruction fetch of the block containing a by CPU c at
 // time now.
 func (s *System) Fetch(c arch.CPUID, a arch.PAddr, now arch.Cycles) Outcome {
+	// Direct-mapped hit probe: side-effect-free, so the full Access call
+	// (and its return-value plumbing) is skipped on the overwhelmingly
+	// common hit path. Returns false on the -reference oracle path.
+	if s.I[c].ReadHit(a) {
+		if s.Check != nil {
+			s.Check.OnFetch(c, a.Block(), true, now)
+		}
+		return Outcome{}
+	}
 	hit, _, _ := s.I[c].Access(a, false)
 	if s.Check != nil {
 		s.Check.OnFetch(c, a.Block(), hit, now)
@@ -218,6 +256,15 @@ func (s *System) Fetch(c arch.CPUID, a arch.PAddr, now arch.Cycles) Outcome {
 
 // Read performs a data load of the block containing a by CPU c.
 func (s *System) Read(c arch.CPUID, a arch.PAddr, now arch.Cycles) Outcome {
+	// Direct-mapped L1 hit probe: side-effect-free, so the full hierarchy
+	// Access call is skipped on the overwhelmingly common hit path.
+	// Returns false on the -reference oracle path.
+	if s.D[c].ReadHitL1(a) {
+		if s.Check != nil {
+			s.Check.OnData(c, a.Block(), false, check.LevelL1, now)
+		}
+		return Outcome{}
+	}
 	res := s.D[c].Access(a, false)
 	switch res.Result {
 	case cache.DataL1Hit:
@@ -239,19 +286,36 @@ func (s *System) Read(c arch.CPUID, a arch.PAddr, now arch.Cycles) Outcome {
 		s.record(Txn{Ticks: TicksOf(now), Addr: res.L2Evicted.Block, CPU: c, Kind: TxnWriteBack})
 	}
 	shared := false
-	for q := 0; q < s.N; q++ {
-		if arch.CPUID(q) == c {
-			continue
+	if s.pres != nil {
+		// Fast path: the local L2 was just filled (possibly displacing a
+		// block) — fold that into the presence filter, then snoop only
+		// the CPUs whose presence bit is set.
+		if res.L2HadEv {
+			s.pres.clear(res.L2Evicted.Block, c)
 		}
-		d := s.D[q]
-		if d.Resident(a) {
-			shared = true
-			if d.L2.Dirty(a) {
-				// Remote cache supplies the data and reverts
-				// to clean Shared; memory is updated.
-				d.L2.Clean(a)
+		s.pres.set(a, c)
+		m := s.pres.mask(a) &^ (1 << uint(c))
+		shared = m != 0
+		for mm := m; mm != 0; mm &= mm - 1 {
+			// A remote holder supplies the data if dirty and reverts
+			// to clean Shared; memory is updated.
+			s.D[bits.TrailingZeros64(mm)].L2.SnoopRead(a)
+		}
+	} else {
+		for q := 0; q < s.N; q++ {
+			if arch.CPUID(q) == c {
+				continue
 			}
-			d.L2.SetShared(a, true)
+			d := s.D[q]
+			if d.Resident(a) {
+				shared = true
+				if d.L2.Dirty(a) {
+					// Remote cache supplies the data and reverts
+					// to clean Shared; memory is updated.
+					d.L2.Clean(a)
+				}
+				d.L2.SetShared(a, true)
+			}
 		}
 	}
 	s.D[c].L2.SetShared(a, shared)
@@ -263,10 +327,10 @@ func (s *System) Read(c arch.CPUID, a arch.PAddr, now arch.Cycles) Outcome {
 
 // Write performs a data store to the block containing a by CPU c.
 func (s *System) Write(c arch.CPUID, a arch.PAddr, now arch.Cycles) Outcome {
-	// Upgrade check must precede the local access so the Shared state
-	// is observed before the write marks the line Modified.
-	wasShared := s.D[c].L2.Shared(a)
+	// The hierarchy reports the pre-access Shared state in WasShared, so
+	// the upgrade decision needs no separate L2 lookup before the write.
 	res := s.D[c].Access(a, true)
+	wasShared := res.WasShared
 	switch res.Result {
 	case cache.DataL1Hit, cache.DataL2Hit:
 		out := Outcome{L2Hit: res.Result == cache.DataL2Hit}
@@ -303,16 +367,31 @@ func (s *System) Write(c arch.CPUID, a arch.PAddr, now arch.Cycles) Outcome {
 		}
 		return out
 	}
-	// Write miss.
+	// Write miss. The local L2 was just filled, possibly displacing a
+	// block — keep the presence filter exact before any snoop consults it.
+	if s.pres != nil {
+		if res.L2HadEv {
+			s.pres.clear(res.L2Evicted.Block, c)
+		}
+		s.pres.set(a, c)
+	}
 	if s.Proto == WriteUpdate {
 		// One combined fetch-and-broadcast transaction; remote copies
 		// stay valid and refreshed.
 		shared := false
-		for q := 0; q < s.N; q++ {
-			if arch.CPUID(q) != c && s.D[q].Resident(a) {
-				shared = true
-				s.D[q].L2.Clean(a)
-				s.D[q].L2.SetShared(a, true)
+		if s.pres != nil {
+			m := s.pres.mask(a) &^ (1 << uint(c))
+			shared = m != 0
+			for mm := m; mm != 0; mm &= mm - 1 {
+				s.D[bits.TrailingZeros64(mm)].L2.SnoopRead(a)
+			}
+		} else {
+			for q := 0; q < s.N; q++ {
+				if arch.CPUID(q) != c && s.D[q].Resident(a) {
+					shared = true
+					s.D[q].L2.Clean(a)
+					s.D[q].L2.SetShared(a, true)
+				}
 			}
 		}
 		if shared {
@@ -351,6 +430,20 @@ func (s *System) Write(c arch.CPUID, a arch.PAddr, now arch.Cycles) Outcome {
 }
 
 func (s *System) invalidateRemote(c arch.CPUID, a arch.PAddr) {
+	if s.pres != nil {
+		// Only CPUs whose presence bit is set can hold the block; clear
+		// their bits along with their copies. Iteration is in ascending
+		// CPU order, like the reference loop.
+		m := s.pres.mask(a) &^ (1 << uint(c))
+		if m == 0 {
+			return
+		}
+		for mm := m; mm != 0; mm &= mm - 1 {
+			s.D[bits.TrailingZeros64(mm)].Invalidate(a)
+		}
+		s.pres.clearMask(a, m)
+		return
+	}
 	for q := 0; q < s.N; q++ {
 		if arch.CPUID(q) != c {
 			s.D[q].Invalidate(a)
@@ -389,8 +482,18 @@ func (s *System) Bypass(c arch.CPUID, a arch.PAddr, blocks int, write bool, now 
 	if write {
 		for i := 0; i < blocks; i++ {
 			ba := a + arch.PAddr(i*arch.BlockSize)
-			for q := 0; q < s.N; q++ {
-				s.D[q].Invalidate(ba)
+			if s.pres != nil {
+				// Bypass writes invalidate every cached copy, the
+				// writer's own included.
+				m := s.pres.mask(ba)
+				for mm := m; mm != 0; mm &= mm - 1 {
+					s.D[bits.TrailingZeros64(mm)].Invalidate(ba)
+				}
+				s.pres.clearMask(ba, m)
+			} else {
+				for q := 0; q < s.N; q++ {
+					s.D[q].Invalidate(ba)
+				}
 			}
 		}
 	}
@@ -432,6 +535,9 @@ func (s *System) InjectEvict(c arch.CPUID, a arch.PAddr, now arch.Cycles) bool {
 	}
 	dirty := d.L2.Dirty(a)
 	d.Invalidate(a)
+	if s.pres != nil {
+		s.pres.clear(a, c)
+	}
 	if dirty {
 		s.Stats.WriteBacks++
 		s.record(Txn{Ticks: TicksOf(now), Addr: a.Block(), CPU: c, Kind: TxnWriteBack})

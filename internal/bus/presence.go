@@ -1,0 +1,90 @@
+package bus
+
+import "repro/internal/arch"
+
+// The snoop presence filter: a paged dense summary of which CPUs hold each
+// block at the coherence (L2) level, maintained by every bus-side fill,
+// eviction and invalidation. Read and write miss paths consult it so they
+// only touch hierarchies that actually hold the block, instead of probing
+// every remote cache per transaction.
+//
+// Layout mirrors check's shadowPage: one page per 4 KB physical frame,
+// allocated lazily on first fill, holding a CPU bitmask per block. A nil
+// page means "no CPU holds any block of this frame". The filter is exact,
+// not conservative — the property test in presence_test.go drives random
+// traffic and asserts bit-for-bit agreement with a brute-force Resident
+// scan of every hierarchy.
+
+// blocksPerFrame is the number of cache blocks in one physical page frame.
+const blocksPerFrame = arch.PageSize / arch.BlockSize
+
+// maxPresenceCPUs bounds the bitmask width; systems beyond it (none in the
+// paper — the sweeps stop at 16 CPUs) fall back to the full snoop loops.
+const maxPresenceCPUs = 64
+
+type presencePage struct {
+	mask [blocksPerFrame]uint64
+}
+
+type presence struct {
+	pages []*presencePage // indexed by physical frame
+}
+
+func newPresence() *presence {
+	return &presence{pages: make([]*presencePage, arch.MemFrames)}
+}
+
+func blockIndex(a arch.PAddr) uint32 {
+	return (uint32(a) >> arch.BlockShift) & (blocksPerFrame - 1)
+}
+
+// mask returns the CPU bitmask of the block containing a (0 when no page
+// exists, i.e. no CPU holds any block of the frame).
+func (p *presence) mask(a arch.PAddr) uint64 {
+	f := int(uint32(a) >> arch.PageShift)
+	if f >= len(p.pages) {
+		return 0
+	}
+	pg := p.pages[f]
+	if pg == nil {
+		return 0
+	}
+	return pg.mask[blockIndex(a)]
+}
+
+// set marks CPU q as holding the block containing a, allocating the
+// frame's page on first touch (and growing the frame index for tests that
+// fabricate addresses beyond physical memory).
+func (p *presence) set(a arch.PAddr, q arch.CPUID) {
+	f := int(uint32(a) >> arch.PageShift)
+	if f >= len(p.pages) {
+		grown := make([]*presencePage, f+1)
+		copy(grown, p.pages)
+		p.pages = grown
+	}
+	pg := p.pages[f]
+	if pg == nil {
+		pg = &presencePage{}
+		p.pages[f] = pg
+	}
+	pg.mask[blockIndex(a)] |= 1 << uint(q)
+}
+
+// clear removes CPU q from the block's bitmask. A missing page means the
+// bit was already clear.
+func (p *presence) clear(a arch.PAddr, q arch.CPUID) {
+	f := int(uint32(a) >> arch.PageShift)
+	if f >= len(p.pages) || p.pages[f] == nil {
+		return
+	}
+	p.pages[f].mask[blockIndex(a)] &^= 1 << uint(q)
+}
+
+// clearMask removes every CPU in m from the block's bitmask.
+func (p *presence) clearMask(a arch.PAddr, m uint64) {
+	f := int(uint32(a) >> arch.PageShift)
+	if f >= len(p.pages) || p.pages[f] == nil {
+		return
+	}
+	p.pages[f].mask[blockIndex(a)] &^= m
+}

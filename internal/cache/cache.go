@@ -33,6 +33,17 @@ type Cache struct {
 	// sharedBit is allocated lazily by SetShared; only coherence-level
 	// caches (the data L2) pay for it.
 	sharedBit []bool
+
+	// generic forces the way-loop/LRU access path even when assoc==1
+	// (the -reference oracle); the direct-mapped specialization is used
+	// otherwise. State layout is identical either way.
+	generic bool
+
+	// residents counts valid lines, and frameRes counts valid lines per
+	// physical page frame, so ResidentBlocks and InvalidateFrame need no
+	// line scan. Both are maintained by every fill/invalidate.
+	residents int
+	frameRes  []uint16 // ≤ 256 blocks per 4 KB frame
 }
 
 // New returns a cache of the given total size in bytes and associativity.
@@ -51,16 +62,23 @@ func New(name string, size, assoc int) *Cache {
 		panic(fmt.Sprintf("cache %s: %d sets is not a power of two", name, sets))
 	}
 	return &Cache{
-		name:  name,
-		size:  size,
-		assoc: assoc,
-		sets:  sets,
-		valid: make([]bool, lines),
-		tag:   make([]arch.PAddr, lines),
-		dirty: make([]bool, lines),
-		lru:   make([]uint64, lines),
+		name:     name,
+		size:     size,
+		assoc:    assoc,
+		sets:     sets,
+		valid:    make([]bool, lines),
+		tag:      make([]arch.PAddr, lines),
+		dirty:    make([]bool, lines),
+		lru:      make([]uint64, lines),
+		frameRes: make([]uint16, arch.MemFrames),
 	}
 }
+
+// SetGeneric forces the generic set-associative access path even for
+// direct-mapped caches (the -reference oracle). Call it before any traffic;
+// both paths keep the same state layout, so results are identical either
+// way — that identity is exactly what the oracle exists to prove.
+func (c *Cache) SetGeneric(g bool) { c.generic = g }
 
 // Name returns the cache's identifying name.
 func (c *Cache) Name() string { return c.name }
@@ -91,6 +109,16 @@ func (c *Cache) Lookup(a arch.PAddr) bool {
 
 func (c *Cache) find(a arch.PAddr) (idx int, ok bool) {
 	b := a.Block()
+	if c.assoc == 1 {
+		// Direct-mapped: the set IS the line; no way loop. This is a pure
+		// strength reduction (a one-iteration loop unrolled), so it is
+		// safe on the -reference oracle path too.
+		i := int(uint32(a)>>arch.BlockShift) & (c.sets - 1)
+		if c.valid[i] && c.tag[i] == b {
+			return i, true
+		}
+		return 0, false
+	}
 	set := c.SetOf(a)
 	for w := 0; w < c.assoc; w++ {
 		i := c.lineIdx(set, w)
@@ -101,10 +129,35 @@ func (c *Cache) find(a arch.PAddr) (idx int, ok bool) {
 	return 0, false
 }
 
+// frameInc / frameDec maintain the per-frame resident-block index. The
+// counter array is sized for the machine's 32 MB of physical memory;
+// frameInc grows it for tests that fabricate addresses beyond that.
+func (c *Cache) frameInc(f uint32) {
+	if int(f) >= len(c.frameRes) {
+		grown := make([]uint16, f+1)
+		copy(grown, c.frameRes)
+		c.frameRes = grown
+	}
+	c.frameRes[f]++
+}
+
+func (c *Cache) frameDec(f uint32) { c.frameRes[f]-- }
+
 // Eviction describes a block displaced by a fill.
 type Eviction struct {
 	Block arch.PAddr
 	Dirty bool
+}
+
+// ReadHit reports whether a load of the block containing a hits on the
+// direct-mapped fast path, touching no state. A direct-mapped read hit has
+// no side effects, so callers may skip Access entirely when it returns
+// true. It always returns false when the generic oracle path is in force
+// (or assoc > 1): callers then fall through to the full Access path.
+// Small by design so it inlines into the bus hot paths.
+func (c *Cache) ReadHit(a arch.PAddr) bool {
+	i := int(uint32(a)>>arch.BlockShift) & (c.sets - 1)
+	return c.assoc == 1 && !c.generic && c.valid[i] && c.tag[i] == a.Block()
 }
 
 // Access touches the block containing a. write marks the block dirty.
@@ -112,6 +165,33 @@ type Eviction struct {
 // valid block was displaced, evicted describes it (ok=false when the set had
 // an empty way).
 func (c *Cache) Access(a arch.PAddr, write bool) (hit bool, evicted Eviction, ok bool) {
+	if c.assoc == 1 && !c.generic {
+		// Direct-mapped fast path: one index computation, no clock tick
+		// and no LRU stamp (neither is observable with a single way).
+		b := a.Block()
+		i := int(uint32(a)>>arch.BlockShift) & (c.sets - 1)
+		if c.valid[i] {
+			if c.tag[i] == b {
+				if write {
+					c.dirty[i] = true
+				}
+				return true, Eviction{}, false
+			}
+			evicted = Eviction{Block: c.tag[i], Dirty: c.dirty[i]}
+			ok = true
+			c.frameDec(evicted.Block.Frame())
+		} else {
+			c.valid[i] = true
+			c.residents++
+		}
+		c.frameInc(b.Frame())
+		c.tag[i] = b
+		c.dirty[i] = write
+		if c.sharedBit != nil {
+			c.sharedBit[i] = false
+		}
+		return false, evicted, ok
+	}
 	c.clock++
 	if i, found := c.find(a); found {
 		c.lru[i] = c.clock
@@ -151,7 +231,11 @@ func (c *Cache) fill(a arch.PAddr) (idx int, evicted Eviction, ok bool) {
 	if c.valid[victim] {
 		evicted = Eviction{Block: c.tag[victim], Dirty: c.dirty[victim]}
 		ok = true
+		c.frameDec(evicted.Block.Frame())
+	} else {
+		c.residents++
 	}
+	c.frameInc(b.Frame())
 	c.valid[victim] = true
 	c.tag[victim] = b
 	c.dirty[victim] = false
@@ -185,6 +269,8 @@ func (c *Cache) Peek(a arch.PAddr) (block arch.PAddr, ok bool) {
 func (c *Cache) Invalidate(a arch.PAddr) (wasResident, wasDirty bool) {
 	if i, found := c.find(a); found {
 		c.valid[i] = false
+		c.residents--
+		c.frameDec(a.Frame())
 		return true, c.dirty[i]
 	}
 	return false, false
@@ -195,13 +281,24 @@ func (c *Cache) Invalidate(a arch.PAddr) (wasResident, wasDirty bool) {
 // on the instruction caches when a physical page that contained code is
 // reallocated (the source of Inval misses, Table 2).
 func (c *Cache) InvalidateFrame(frame uint32) int {
+	// The per-frame resident index bounds the work: an empty frame costs
+	// one counter load, and a partially-resident one at most the frame's
+	// 256 block probes (with an early-out once every counted block is
+	// found) instead of a scan over every line of the cache.
+	if int(frame) >= len(c.frameRes) || c.frameRes[frame] == 0 {
+		return 0
+	}
+	want := int(c.frameRes[frame])
 	n := 0
-	for i := range c.valid {
-		if c.valid[i] && c.tag[i].Frame() == frame {
+	base := arch.PAddr(frame) << arch.PageShift
+	for o := 0; o < arch.PageSize && n < want; o += arch.BlockSize {
+		if i, found := c.find(base + arch.PAddr(o)); found {
 			c.valid[i] = false
 			n++
 		}
 	}
+	c.frameRes[frame] = 0
+	c.residents -= n
 	return n
 }
 
@@ -210,6 +307,10 @@ func (c *Cache) InvalidateAll() {
 	for i := range c.valid {
 		c.valid[i] = false
 	}
+	for i := range c.frameRes {
+		c.frameRes[i] = 0
+	}
+	c.residents = 0
 }
 
 // NumLines returns the total number of lines, valid or not.
@@ -226,13 +327,6 @@ func (c *Cache) LineAt(i int) (block arch.PAddr, ok bool) {
 }
 
 // ResidentBlocks returns the number of valid lines (used by tests and the
-// monitor's perturbation accounting).
-func (c *Cache) ResidentBlocks() int {
-	n := 0
-	for _, v := range c.valid {
-		if v {
-			n++
-		}
-	}
-	return n
-}
+// monitor's perturbation accounting). It reads the maintained counter —
+// O(1), not a line scan.
+func (c *Cache) ResidentBlocks() int { return c.residents }

@@ -12,14 +12,29 @@ import "repro/internal/arch"
 type DataHierarchy struct {
 	L1 *Cache
 	L2 *Cache
+
+	// dm is true when both levels are direct-mapped and the generic
+	// oracle path is not forced: Access may then use the combined
+	// single-index fast path below.
+	dm bool
 }
 
 // NewDataHierarchy builds the 4D/340 data hierarchy.
 func NewDataHierarchy(name string) *DataHierarchy {
-	return &DataHierarchy{
+	h := &DataHierarchy{
 		L1: New(name+".L1", arch.DCacheL1Size, 1),
 		L2: New(name+".L2", arch.DCacheL2Size, 1),
 	}
+	h.dm = true
+	return h
+}
+
+// SetGeneric forces both levels onto the generic access path and disables
+// the combined fast path (the -reference oracle). Call before any traffic.
+func (h *DataHierarchy) SetGeneric(g bool) {
+	h.L1.SetGeneric(g)
+	h.L2.SetGeneric(g)
+	h.dm = !g && h.L1.assoc == 1 && h.L2.assoc == 1
 }
 
 // DataResult reports where a data reference was satisfied.
@@ -56,24 +71,50 @@ type DataAccess struct {
 	// WriteBack is true when the displaced L2 block was dirty and must
 	// be written back on the bus.
 	WriteBack bool
+	// WasShared reports, for a write, whether the L2 copy was in the
+	// coherence Shared state immediately before the access (false on a
+	// miss — a non-resident line is never Shared). The bus uses it for
+	// the upgrade/update decision without a second L2 lookup.
+	WasShared bool
+}
+
+// ReadHitL1 reports whether a data load hits the first-level cache on the
+// direct-mapped fast path, touching no state (a direct-mapped read hit has
+// no side effects). It always returns false when the generic oracle path
+// is in force: callers then fall through to the full Access path. Small by
+// design so it inlines into the bus hot paths.
+func (h *DataHierarchy) ReadHitL1(a arch.PAddr) bool {
+	l1 := h.L1
+	i := int(uint32(a)>>arch.BlockShift) & (l1.sets - 1)
+	return h.dm && l1.valid[i] && l1.tag[i] == a.Block()
 }
 
 // Access performs a data load or store at physical address a, reporting the
 // level of the hit and carrying L2 eviction/write-back information so the
 // bus can emit write-back transactions.
 func (h *DataHierarchy) Access(a arch.PAddr, write bool) DataAccess {
+	if h.dm {
+		return h.accessDM(a, write)
+	}
+	// Observe the coherence Shared state before the access can change the
+	// line (write hits never touch the shared bit, so this equals the
+	// pre-access state on every hit path; misses report false).
+	wasShared := false
+	if write {
+		wasShared = h.L2.Shared(a)
+	}
 	if hit, _, _ := h.L1.Access(a, write); hit {
 		// Keep the L2 copy's dirtiness in sync so write-backs are not
 		// lost when the L1 copy is silently displaced later.
 		if write {
 			h.l2MarkDirty(a)
 		}
-		return DataAccess{Result: DataL1Hit}
+		return DataAccess{Result: DataL1Hit, WasShared: wasShared}
 	}
 	// L1 missed and was filled by the probe above. Probe L2.
 	hit, ev2, had2 := h.L2.Access(a, write)
 	if hit {
-		return DataAccess{Result: DataL2Hit}
+		return DataAccess{Result: DataL2Hit, WasShared: wasShared}
 	}
 	res := DataAccess{Result: DataMiss}
 	if had2 {
@@ -82,6 +123,79 @@ func (h *DataHierarchy) Access(a arch.PAddr, write bool) DataAccess {
 		res.WriteBack = ev2.Dirty
 		// Inclusion: the block displaced from L2 must leave L1.
 		h.L1.Invalidate(ev2.Block)
+	}
+	return res
+}
+
+// accessDM is the direct-mapped specialization of Access: the block and
+// both set indices are computed once, and the L1 fill, L2 probe and L2
+// fill/eviction are inlined with the resident counters maintained in
+// place. It is state-for-state identical to the generic path (LRU stamps
+// and the access clock are unobservable with a single way).
+func (h *DataHierarchy) accessDM(a arch.PAddr, write bool) DataAccess {
+	b := a.Block()
+	l1, l2 := h.L1, h.L2
+	bi := int(uint32(a) >> arch.BlockShift)
+	i1 := bi & (l1.sets - 1)
+	i2 := bi & (l2.sets - 1)
+	if l1.valid[i1] && l1.tag[i1] == b {
+		if write {
+			l1.dirty[i1] = true
+			// Keep the L2 copy's dirtiness in sync so write-backs are
+			// not lost when the L1 copy is silently displaced later.
+			// The shared bit is read before the dirty update, but the
+			// update never touches it, so this is the pre-access state.
+			if l2.valid[i2] && l2.tag[i2] == b {
+				l2.dirty[i2] = true
+				if l2.sharedBit != nil && l2.sharedBit[i2] {
+					return DataAccess{Result: DataL1Hit, WasShared: true}
+				}
+			}
+		}
+		return DataAccess{Result: DataL1Hit}
+	}
+	// L1 miss: install the block (the displaced copy needs no write-back;
+	// L2 carries the dirtiness).
+	if l1.valid[i1] {
+		l1.frameDec(l1.tag[i1].Frame())
+	} else {
+		l1.valid[i1] = true
+		l1.residents++
+	}
+	l1.frameInc(b.Frame())
+	l1.tag[i1] = b
+	l1.dirty[i1] = write
+	if l1.sharedBit != nil {
+		l1.sharedBit[i1] = false
+	}
+	// Probe L2.
+	if l2.valid[i2] && l2.tag[i2] == b {
+		if write {
+			l2.dirty[i2] = true
+			if l2.sharedBit != nil && l2.sharedBit[i2] {
+				return DataAccess{Result: DataL2Hit, WasShared: true}
+			}
+		}
+		return DataAccess{Result: DataL2Hit}
+	}
+	res := DataAccess{Result: DataMiss}
+	if l2.valid[i2] {
+		ev := Eviction{Block: l2.tag[i2], Dirty: l2.dirty[i2]}
+		res.L2Evicted = ev
+		res.L2HadEv = true
+		res.WriteBack = ev.Dirty
+		l2.frameDec(ev.Block.Frame())
+		// Inclusion: the block displaced from L2 must leave L1.
+		l1.Invalidate(ev.Block)
+	} else {
+		l2.valid[i2] = true
+		l2.residents++
+	}
+	l2.frameInc(b.Frame())
+	l2.tag[i2] = b
+	l2.dirty[i2] = write
+	if l2.sharedBit != nil {
+		l2.sharedBit[i2] = false
 	}
 	return res
 }

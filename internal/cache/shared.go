@@ -41,6 +41,22 @@ func (c *Cache) Shared(a arch.PAddr) bool {
 	return false
 }
 
+// SnoopRead services a remote read snoop at the coherence level in one
+// lookup: if the block is resident, the copy reverts to clean Shared (a
+// dirty copy supplies the data and memory is updated) and SnoopRead reports
+// true. It is exactly the Resident→Clean-if-Dirty→SetShared(true) sequence
+// of the bus's snoop loop, without the three separate finds.
+func (c *Cache) SnoopRead(a arch.PAddr) bool {
+	i, ok := c.find(a)
+	if !ok {
+		return false
+	}
+	c.dirty[i] = false
+	c.ensureShared()
+	c.sharedBit[i] = true
+	return true
+}
+
 // Dirty reports whether the block containing a is resident and dirty.
 func (c *Cache) Dirty(a arch.PAddr) bool {
 	if i, ok := c.find(a); ok {

@@ -54,6 +54,11 @@ type Config struct {
 	// so no trace buffer is ever allocated. Buffered remains as the
 	// oracle: both paths must produce byte-identical reports.
 	Buffered bool
+	// Reference runs the generic oracle paths (way-loop caches, full
+	// snoop broadcasts, rescan-every-step scheduler) instead of the
+	// memory-system fast path. Reports must be byte-identical either way;
+	// the flag exists to prove it and to debug the fast path.
+	Reference bool
 	// CollectIResim records the I-miss stream for Figure 6 sweeps.
 	CollectIResim bool
 	// CollectDResim records the data-miss stream for the §4.2.2
@@ -107,6 +112,7 @@ func Run(cfg Config) *Characterization {
 		NoTrace:        cfg.NoTrace,
 		Streaming:      streaming,
 		UpdateProtocol: cfg.UpdateProtocol,
+		Reference:      cfg.Reference,
 		Check:          cfg.Check,
 		Inject:         cfg.Inject,
 		Kernel: kernel.Config{Affinity: cfg.Affinity, OptimizedText: cfg.OptimizedText,

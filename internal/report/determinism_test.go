@@ -85,6 +85,35 @@ func TestStreamingMatchesBufferedReports(t *testing.T) {
 	}
 }
 
+// TestFastMatchesReferenceReports is the memory-system fast path's oracle:
+// the presence-filtered snoops, direct-mapped cache specialization and
+// run-ahead scheduler must render every table and figure byte-for-byte
+// identically to the generic reference paths (-reference) — for all three
+// workloads, serially and under the worker pool.
+func TestFastMatchesReferenceReports(t *testing.T) {
+	for _, par := range []int{1, 8} {
+		render := func(ref bool) string {
+			set := RunSetParallel(core.Config{
+				Window: 600_000, Warmup: 300_000, Seed: 11, Check: true,
+				Reference: ref,
+			}, runner.Options{Parallelism: par})
+			return All(set)
+		}
+		fast, reference := render(false), render(true)
+		if fast != reference {
+			la, lb := splitLines(fast), splitLines(reference)
+			for i := 0; i < len(la) && i < len(lb); i++ {
+				if la[i] != lb[i] {
+					t.Fatalf("parallelism %d: reports diverge at line %d:\n  fast:      %s\n  reference: %s",
+						par, i+1, la[i], lb[i])
+				}
+			}
+			t.Fatalf("parallelism %d: reports differ in length: %d vs %d bytes",
+				par, len(fast), len(reference))
+		}
+	}
+}
+
 // TestParallelFigure11ByteIdentical covers the other fan-out entry point:
 // the lock-contention sweep over CPU counts.
 func TestParallelFigure11ByteIdentical(t *testing.T) {

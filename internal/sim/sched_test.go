@@ -1,0 +1,60 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/arch"
+)
+
+// TestMinPairOrdering pins the scheduler's one source of truth: minPair
+// must return the (now, id)-minimal CPU plus the runner-up under the same
+// ordering — ties broken by the lowest CPU id, exactly the first-index-wins
+// rule of the original rescan-every-step loop — and skip CPUs at or past
+// the limit. The run-ahead batching in loop() is only correct if the
+// runner-up is exact, so each case checks both results.
+func TestMinPairOrdering(t *testing.T) {
+	s := smallSim(t, Config{NCPU: 4})
+	set := func(clocks ...arch.Cycles) {
+		for i, v := range clocks {
+			s.CPUs[i].now = v
+		}
+	}
+	id := func(c *CPU) int {
+		if c == nil {
+			return -1
+		}
+		return int(c.id)
+	}
+	unlimited := arch.Cycles(math.MaxInt64)
+	cases := []struct {
+		name     string
+		clocks   []arch.Cycles
+		limit    arch.Cycles
+		lo, next int
+	}{
+		{"distinct", []arch.Cycles{30, 10, 20, 40}, unlimited, 1, 2},
+		{"tie at minimum: lowest id wins", []arch.Cycles{20, 10, 10, 40}, unlimited, 1, 2},
+		{"three-way tie", []arch.Cycles{10, 10, 10, 10}, unlimited, 0, 1},
+		{"tie at runner-up", []arch.Cycles{5, 7, 7, 9}, unlimited, 0, 1},
+		{"runner-up before minimum", []arch.Cycles{7, 5, 9, 11}, unlimited, 1, 0},
+		{"limit filters the minimum", []arch.Cycles{30, 10, 20, 40}, 15, 1, -1},
+		{"limit filters runner-up", []arch.Cycles{30, 10, 20, 40}, 25, 1, 2},
+		{"all past limit", []arch.Cycles{30, 10, 20, 40}, 10, -1, -1},
+	}
+	for _, tc := range cases {
+		set(tc.clocks...)
+		lo, next := s.minPair(tc.limit)
+		if id(lo) != tc.lo || id(next) != tc.next {
+			t.Errorf("%s: minPair(%v) with clocks %v = (cpu %d, cpu %d), want (cpu %d, cpu %d)",
+				tc.name, tc.limit, tc.clocks, id(lo), id(next), tc.lo, tc.next)
+		}
+	}
+
+	// minClock is the same scan with no limit: it must report the minimal
+	// clock itself (used by the monitor's global-time queries).
+	set(30, 10, 20, 40)
+	if got := s.minClock(); got != 10 {
+		t.Errorf("minClock = %d, want 10", got)
+	}
+}

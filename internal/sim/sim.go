@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"math"
+
 	"repro/internal/arch"
 	"repro/internal/bus"
 	"repro/internal/check"
@@ -42,6 +44,11 @@ type Config struct {
 	// UpdateProtocol switches the bus to write-update coherence (the
 	// protocol ablation).
 	UpdateProtocol bool
+	// Reference runs the generic oracle paths end to end: way-loop/LRU
+	// caches, full snoop broadcasts with no presence filter, and the
+	// rescan-every-step scheduler. The fast path must produce
+	// byte-identical reports; -reference exists to prove it.
+	Reference bool
 	// Check enables the invariant checker (shadow memory, coherence,
 	// lock discipline). Off by default: it costs time and memory.
 	Check bool
@@ -147,6 +154,9 @@ func New(cfg Config) *Simulator {
 	if cfg.UpdateProtocol {
 		s.Bus.Proto = bus.WriteUpdate
 	}
+	if cfg.Reference {
+		s.Bus.SetReference(true)
+	}
 	if cfg.Check {
 		s.Chk = check.New(s.Bus)
 		s.Chk.FailFast = cfg.CheckFailFast
@@ -238,18 +248,64 @@ func (s *Simulator) Run() {
 	s.loop()
 }
 
-func (s *Simulator) minClock() arch.Cycles {
-	m := s.CPUs[0].now
-	for _, c := range s.CPUs[1:] {
-		if c.now < m {
-			m = c.now
+// minPair is the one source of truth for "next CPU to step": among CPUs
+// with now < limit it returns the one with the smallest clock (ties broken
+// by lowest CPU id, i.e. first-index-wins, exactly like the original scan)
+// plus the runner-up under the same ordering. Both are nil when every CPU
+// has reached the limit.
+func (s *Simulator) minPair(limit arch.Cycles) (lo, next *CPU) {
+	for _, q := range s.CPUs {
+		if q.now >= limit {
+			continue
+		}
+		switch {
+		case lo == nil || q.now < lo.now:
+			lo, next = q, lo
+		case next == nil || q.now < next.now:
+			next = q
 		}
 	}
-	return m
+	return lo, next
+}
+
+func (s *Simulator) minClock() arch.Cycles {
+	c, _ := s.minPair(arch.Cycles(math.MaxInt64))
+	return c.now
 }
 
 // loop steps the CPU with the smallest clock until all pass s.end.
+//
+// The fast path batches: stepping a CPU only advances that CPU's clock, so
+// once chosen it stays the minimum until it overtakes the runner-up — the
+// scheduler scan is paid per batch, not per step. On a tie the lower CPU id
+// runs first (minPair's ordering), so the step sequence is exactly the one
+// the rescan-every-step reference policy produces.
 func (s *Simulator) loop() {
+	if s.Cfg.Reference {
+		s.loopReference()
+		return
+	}
+	for {
+		c, next := s.minPair(s.end)
+		if c == nil {
+			return
+		}
+		if next == nil {
+			// Sole CPU still below the window end: run it out.
+			for c.now < s.end {
+				s.step(c)
+			}
+			continue
+		}
+		for c.now < s.end && (c.now < next.now || (c.now == next.now && c.id < next.id)) {
+			s.step(c)
+		}
+	}
+}
+
+// loopReference is the original O(N)-per-step scheduler, kept verbatim as
+// the -reference oracle for the batching loop above.
+func (s *Simulator) loopReference() {
 	for {
 		var c *CPU
 		for _, q := range s.CPUs {

@@ -109,7 +109,12 @@ func (s *Simulator) genRefs(c *CPU, pr *kernel.Proc) {
 			}
 			fp.LoopLeft = fp.CodeLoopBlocks
 		}
-		pos := fp.CodePos % total
+		pos := fp.CodePos
+		if pos >= total {
+			// Rare: CodePos drifts past the end between jumps. The
+			// common case avoids the hardware divide.
+			pos %= total
+		}
 		vp := fp.CodeVPages[pos/blocksPerPage]
 		fr, ok := s.translate(c, pr, vp, false)
 		if !ok {
@@ -151,7 +156,12 @@ func (s *Simulator) genRefs(c *CPU, pr *kernel.Proc) {
 		} else {
 			fp.DataPos++
 		}
-		pos := fp.DataPos % window
+		pos := fp.DataPos
+		if pos >= window {
+			// Rare: DataPos drifts past the window between jumps (and
+			// the window itself can shrink when AllData is rebuilt).
+			pos %= window
+		}
 		vp := all[fp.HotBase+pos/blocksPerPage]
 		write := rng.Intn(100) < fp.WritePct
 		fr, ok := s.translate(c, pr, vp, write)

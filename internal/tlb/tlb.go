@@ -18,9 +18,15 @@ type Entry struct {
 
 // TLB is one CPU's translation buffer. Replacement is round-robin over the
 // entries, approximating the R3000's random replacement deterministically.
+//
+// An index map mirrors the valid entries so Lookup is O(1) instead of a
+// 64-entry scan (the translation path runs once per generated reference).
+// Slot assignment is untouched — the slot index is emitted in the
+// TLB-change escape, so entry order is part of the observable trace.
 type TLB struct {
 	entries [arch.TLBEntries]Entry
 	next    int
+	index   map[uint64]int32 // (pid, vpage) → slot of each valid entry
 
 	// Hits and Misses count lookups for the Figure 9 discussion of
 	// cheap-fault frequency.
@@ -29,17 +35,20 @@ type TLB struct {
 }
 
 // New returns an empty TLB.
-func New() *TLB { return &TLB{} }
+func New() *TLB {
+	return &TLB{index: make(map[uint64]int32, arch.TLBEntries)}
+}
+
+func tlbKey(pid arch.PID, vpage uint32) uint64 {
+	return uint64(pid)<<32 | uint64(vpage)
+}
 
 // Lookup translates (pid, vpage), reporting a miss if no valid entry
 // matches.
 func (t *TLB) Lookup(pid arch.PID, vpage uint32) (frame uint32, hit bool) {
-	for i := range t.entries {
-		e := &t.entries[i]
-		if e.Valid && e.PID == pid && e.VPage == vpage {
-			t.Hits++
-			return e.Frame, true
-		}
+	if i, ok := t.index[tlbKey(pid, vpage)]; ok {
+		t.Hits++
+		return t.entries[i].Frame, true
 	}
 	t.Misses++
 	return 0, false
@@ -49,17 +58,18 @@ func (t *TLB) Lookup(pid arch.PID, vpage uint32) (frame uint32, hit bool) {
 // displaced (displaced.Valid is false if the slot was empty). If the
 // (pid, vpage) pair is already present its entry is updated in place.
 func (t *TLB) Insert(pid arch.PID, vpage, frame uint32) (index int, displaced Entry) {
-	for i := range t.entries {
-		e := &t.entries[i]
-		if e.Valid && e.PID == pid && e.VPage == vpage {
-			e.Frame = frame
-			return i, Entry{}
-		}
+	if i, ok := t.index[tlbKey(pid, vpage)]; ok {
+		t.entries[i].Frame = frame
+		return int(i), Entry{}
 	}
 	i := t.next
 	t.next = (t.next + 1) % arch.TLBEntries
 	displaced = t.entries[i]
+	if displaced.Valid {
+		delete(t.index, tlbKey(displaced.PID, displaced.VPage))
+	}
 	t.entries[i] = Entry{Valid: true, PID: pid, VPage: vpage, Frame: frame}
+	t.index[tlbKey(pid, vpage)] = int32(i)
 	return i, displaced
 }
 
@@ -70,6 +80,7 @@ func (t *TLB) InvalidatePID(pid arch.PID) int {
 	for i := range t.entries {
 		if t.entries[i].Valid && t.entries[i].PID == pid {
 			t.entries[i].Valid = false
+			delete(t.index, tlbKey(t.entries[i].PID, t.entries[i].VPage))
 			n++
 		}
 	}
@@ -83,6 +94,7 @@ func (t *TLB) InvalidateFrame(f uint32) int {
 	for i := range t.entries {
 		if t.entries[i].Valid && t.entries[i].Frame == f {
 			t.entries[i].Valid = false
+			delete(t.index, tlbKey(t.entries[i].PID, t.entries[i].VPage))
 			n++
 		}
 	}

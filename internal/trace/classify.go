@@ -74,12 +74,15 @@ const (
 )
 
 const (
-	nBlocks  = arch.MemBytes / arch.BlockSize
 	iSets    = arch.ICacheSize / arch.BlockSize
 	dSets    = arch.DCacheL2Size / arch.BlockSize
 	noBlock  = ^uint32(0)
 	instrDim = 0
 	dataDim  = 1
+
+	// blocksPerFrame is the number of cache blocks per 4 KB frame — the
+	// granularity of the classifier's paged block state.
+	blocksPerFrame = arch.PageSize / arch.BlockSize
 )
 
 // Result is everything the classifier extracts from one trace.
@@ -264,9 +267,12 @@ type Classifier struct {
 	dec  *monitor.Decoder
 	cpus []*cpuState
 
-	// cause and epoch per (cpu, dim, block); dim 0=I, 1=D.
-	cause []uint8
-	epoch []uint32
+	// pages holds the per-block cause/epoch state, one page per 4 KB
+	// frame, allocated lazily on first touch (check's shadowPage layout).
+	// The flat alternative — ncpu*2*nBlocks entries — costs ~80 MB of
+	// zeroed memory per classifier at 4 CPUs; paging keeps it proportional
+	// to the physical footprint the trace actually touches.
+	pages []*blockPage
 
 	frameCode []bool // frame → holds code
 
@@ -299,8 +305,7 @@ func NewClassifier(kt *kernel.KText, layout *kmem.Layout, ncpu int) *Classifier 
 		layout:    layout,
 		ncpu:      ncpu,
 		dec:       monitor.NewDecoder(),
-		cause:     make([]uint8, ncpu*2*nBlocks),
-		epoch:     make([]uint32, ncpu*2*nBlocks),
+		pages:     make([]*blockPage, arch.MemFrames),
 		frameCode: make([]bool, arch.MemFrames),
 		bcopyID:   kt.R(kmem.RoutineBcopy).ID,
 		bclearID:  kt.R(kmem.RoutineBclear).ID,
@@ -341,8 +346,33 @@ func NewClassifier(kt *kernel.KText, layout *kmem.Layout, ncpu int) *Classifier 
 	return c
 }
 
-func (c *Classifier) idx(cpu arch.CPUID, dim int, block uint32) int {
-	return (int(cpu)*2+dim)*nBlocks + int(block)
+// blockPage holds one frame's per-(block, dim, cpu) classification state:
+// the block-state cause and the user epoch of the last displacement.
+type blockPage struct {
+	cause []uint8
+	epoch []uint32
+}
+
+// state returns the cause and epoch cells of (cpu, dim, block), allocating
+// the frame's page on first touch (and growing the frame index for tests
+// that fabricate blocks beyond physical memory).
+func (c *Classifier) state(cpu arch.CPUID, dim int, block uint32) (cause *uint8, epoch *uint32) {
+	f := int(block) / blocksPerFrame
+	if f >= len(c.pages) {
+		grown := make([]*blockPage, f+1)
+		copy(grown, c.pages)
+		c.pages = grown
+	}
+	pg := c.pages[f]
+	if pg == nil {
+		pg = &blockPage{
+			cause: make([]uint8, blocksPerFrame*2*c.ncpu),
+			epoch: make([]uint32, blocksPerFrame*2*c.ncpu),
+		}
+		c.pages[f] = pg
+	}
+	i := ((int(block)%blocksPerFrame)*2+dim)*c.ncpu + int(cpu)
+	return &pg.cause[i], &pg.epoch[i]
 }
 
 // Classify runs the whole trace and returns the result.
@@ -525,8 +555,8 @@ func (c *Classifier) icacheInval(frame uint32) {
 		for set, b := range cs.iMirror {
 			if b != noBlock {
 				cs.iMirror[set] = noBlock
-				i := c.idx(arch.CPUID(q), instrDim, b)
-				c.cause[i] = causeInval
+				ocause, _ := c.state(arch.CPUID(q), instrDim, b)
+				*ocause = causeInval
 			}
 		}
 	}
@@ -587,10 +617,10 @@ func (c *Classifier) miss(t bus.Txn) {
 	if instr {
 		dim = instrDim
 	}
-	i := c.idx(t.CPU, dim, block)
+	cause, epoch := c.state(t.CPU, dim, block)
 	var class MissClass
 	sameInv := false
-	switch c.cause[i] {
+	switch *cause {
 	case causeNever:
 		class = Cold
 	case causeHere:
@@ -601,7 +631,7 @@ func (c *Classifier) miss(t bus.Txn) {
 		class = DispOS
 		// Dispossame: the application was not invoked between the
 		// displacing OS reference and this miss.
-		sameInv = c.epoch[i] == cs.userEpoch
+		sameInv = *epoch == cs.userEpoch
 	case causeDispApp:
 		class = DispApp
 	case causeSharing:
@@ -623,18 +653,18 @@ func (c *Classifier) miss(t bus.Txn) {
 	// handler runs outside OS windows).
 	displacerOS := c.osMode(cs, t.Addr)
 	if old := mirror[set]; old != noBlock && old != block {
-		oi := c.idx(t.CPU, dim, old)
+		ocause, oepoch := c.state(t.CPU, dim, old)
 		if displacerOS {
-			c.cause[oi] = causeDispOS
+			*ocause = causeDispOS
 			// Section 4.1: 10-25% of OS misses replace blocks
 			// already missed on within the same invocation.
 			if fillInv[set] == cs.invID {
 				c.res.ReusedWithinInvocation++
 			}
 		} else {
-			c.cause[oi] = causeDispApp
+			*ocause = causeDispApp
 		}
-		c.epoch[oi] = cs.userEpoch
+		*oepoch = cs.userEpoch
 	}
 	mirror[set] = block
 	if displacerOS {
@@ -642,7 +672,7 @@ func (c *Classifier) miss(t bus.Txn) {
 	} else {
 		fillInv[set] = 0
 	}
-	c.cause[i] = causeHere
+	*cause = causeHere
 	// Data writes invalidate remote copies (not under write-update).
 	if t.Kind == bus.TxnReadEx {
 		c.invalidateRemote(t)
@@ -667,8 +697,8 @@ func (c *Classifier) invalidateRemote(t bus.Txn) {
 		cs := c.cpus[q]
 		if cs.dMirror[set] == block {
 			cs.dMirror[set] = noBlock
-			i := c.idx(arch.CPUID(q), dataDim, block)
-			c.cause[i] = causeSharing
+			ocause, _ := c.state(arch.CPUID(q), dataDim, block)
+			*ocause = causeSharing
 		}
 	}
 }

@@ -8,9 +8,104 @@
 #   scripts/bench.sh                                  # default suite -> BENCH.json
 #   scripts/bench.sh -phase baseline -out before.json # label a pre-change run
 #   scripts/bench.sh -count 5 -bench 'Pipeline'       # more repetitions, one bench
+#   scripts/bench.sh compare old.json new.json        # delta table, gate on ns/op
+#   scripts/bench.sh compare old.json new.json -threshold 15
 set -eu
 
 cd "$(dirname "$0")/.."
+
+# compare: render a per-benchmark delta table between two result files and
+# exit non-zero if any benchmark's mean ns/op regressed by more than the
+# threshold (percent, default 10). Entries labelled with the "current"
+# phase are preferred on each side; files without one fall back to all
+# phases. Means are taken across repetitions of the same benchmark.
+if [ "${1:-}" = compare ]; then
+    shift
+    old=${1:?usage: $0 compare OLD.json NEW.json [-threshold PCT]}
+    new=${2:?usage: $0 compare OLD.json NEW.json [-threshold PCT]}
+    shift 2
+    threshold=10
+    while [ $# -gt 0 ]; do
+        case "$1" in
+            -threshold) threshold=$2; shift 2 ;;
+            *) echo "usage: $0 compare OLD.json NEW.json [-threshold PCT]" >&2; exit 2 ;;
+        esac
+    done
+    awk -v threshold="$threshold" '
+    # One entry per line; strip JSON punctuation and read key value pairs.
+    /"name":/ {
+        gsub(/[",{}]/, "")
+        name = ""; phase = ""; ns = ""; b = ""; al = ""
+        for (i = 1; i < NF; i++) {
+            if ($i == "name:") name = $(i + 1)
+            else if ($i == "phase:") phase = $(i + 1)
+            else if ($i == "ns_op:") ns = $(i + 1)
+            else if ($i == "b_op:") b = $(i + 1)
+            else if ($i == "allocs_op:") al = $(i + 1)
+        }
+        if (name == "" || ns == "") next
+        side = (NR == FNR) ? "old" : "new"
+        key = side SUBSEP name SUBSEP phase
+        cnt[key]++; sum_ns[key] += ns; sum_b[key] += b; sum_al[key] += al
+        if (phase == "current") hascur[side SUBSEP name] = 1
+        names[name] = 1
+        phases[side SUBSEP name SUBSEP phase] = 1
+    }
+    function mean(side, name, what,    p, key, n, s) {
+        # Prefer phase "current"; otherwise aggregate every phase.
+        if (hascur[side SUBSEP name]) {
+            key = side SUBSEP name SUBSEP "current"
+            if (what == "ns") return sum_ns[key] / cnt[key]
+            if (what == "b")  return sum_b[key] / cnt[key]
+            return sum_al[key] / cnt[key]
+        }
+        n = 0; s = 0
+        for (p in cnt) {
+            split(p, q, SUBSEP)
+            if (q[1] != side || q[2] != name) continue
+            n += cnt[p]
+            if (what == "ns") s += sum_ns[p]
+            else if (what == "b") s += sum_b[p]
+            else s += sum_al[p]
+        }
+        if (n == 0) return -1
+        return s / n
+    }
+    function fmtdelta(o, v) {
+        if (o <= 0) return "n/a"
+        return sprintf("%+.1f%%", 100 * (v - o) / o)
+    }
+    END {
+        printf "%-42s %15s %15s %9s %9s %9s\n", "benchmark", "old ns/op", "new ns/op", "ns/op", "B/op", "allocs"
+        fail = 0
+        for (name in names) sorted[++m] = name
+        # insertion sort for stable, portable output order
+        for (i = 2; i <= m; i++) {
+            v = sorted[i]
+            for (j = i - 1; j >= 1 && sorted[j] > v; j--) sorted[j + 1] = sorted[j]
+            sorted[j + 1] = v
+        }
+        for (i = 1; i <= m; i++) {
+            name = sorted[i]
+            ons = mean("old", name, "ns"); nns = mean("new", name, "ns")
+            ob = mean("old", name, "b");   nb = mean("new", name, "b")
+            oal = mean("old", name, "al"); nal = mean("new", name, "al")
+            if (ons < 0 || nns < 0) {
+                printf "%-42s %15s %15s %9s\n", name, (ons < 0 ? "-" : sprintf("%.0f", ons)), (nns < 0 ? "-" : sprintf("%.0f", nns)), "(only in one file)"
+                continue
+            }
+            printf "%-42s %15.0f %15.0f %9s %9s %9s\n", name, ons, nns, fmtdelta(ons, nns), fmtdelta(ob, nb), fmtdelta(oal, nal)
+            if (nns > ons * (1 + threshold / 100)) {
+                regress[++r] = sprintf("%s: ns/op regressed %.1f%% (> %s%% threshold)", name, 100 * (nns - ons) / ons, threshold)
+                fail = 1
+            }
+        }
+        for (i = 1; i <= r; i++) print "REGRESSION: " regress[i] > "/dev/stderr"
+        exit fail
+    }
+    ' "$old" "$new"
+    exit $?
+fi
 
 count=3
 bench='BenchmarkPipeline_FullCharacterization|BenchmarkClassifierThroughput'

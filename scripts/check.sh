@@ -36,4 +36,19 @@ if [ "$streaming" != "$buffered" ]; then
     exit 1
 fi
 
+echo "== fast-vs-reference determinism smoke (charos -reference)"
+reference=$(go run ./cmd/charos -exp table1 -window 2000000 -reference 2>/dev/null)
+if [ "$streaming" != "$reference" ]; then
+    echo "FAIL: memory-system fast path output diverges from the -reference oracle" >&2
+    exit 1
+fi
+
+echo "== benchmark regression gate (bench.sh compare vs BENCH_PR4.json)"
+# One quick repetition against the committed PR 4 numbers. The threshold is
+# deliberately loose (noisy shared runners); tighten it for local tuning.
+gate=$(mktemp)
+trap 'rm -f "$gate"' EXIT
+scripts/bench.sh -count 1 -bench 'BenchmarkPipeline_FullCharacterization' -phase gate -out "$gate" 2>/dev/null
+scripts/bench.sh compare BENCH_PR4.json "$gate" -threshold 50
+
 echo "ok"
