@@ -522,7 +522,7 @@ func BenchmarkDCacheSweep_Multpgm(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		ch := core.Run(core.Config{Workload: workload.Multpgm, Window: benchWindow,
 			Seed: 1, CollectDResim: true})
-		res := ch.DCacheSweep()
+		res := ch.DCacheSweep(nil)
 		base = float64(res[0].OSMisses)
 		big = res[len(res)-1].Relative
 		if res[0].OSSharing > 0 {

@@ -24,6 +24,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/inject"
+	"repro/internal/machineflag"
 	"repro/internal/profiling"
 	"repro/internal/report"
 	"repro/internal/runner"
@@ -42,7 +43,7 @@ func run() int {
 	exp := flag.String("exp", "all", "experiment to reproduce: all, table1, figure1, figure2, figure3, figure4, figure5, figure6, figure7, table3, figure8, table4, table5, table6, table7, figure9, table9, figure10, table10, table11, table12, section6")
 	window := flag.Int64("window", int64(arch.DefaultWindow), "traced window in 30ns cycles")
 	seed := flag.Int64("seed", 1, "random seed")
-	ncpu := flag.Int("ncpu", 4, "number of CPUs")
+	ncpu := flag.Int("ncpu", 0, "number of CPUs (0 = the -machine preset's count)")
 	affinity := flag.Bool("affinity", false, "enable cache-affinity scheduling")
 	checkFlag := flag.Bool("check", false, "run the invariant checker (shadow memory, coherence, lock discipline)")
 	injectFlag := flag.String("inject", "", "fault-injection modes: evict, jitter, intr, migrate, all, or a comma list")
@@ -55,7 +56,14 @@ func run() int {
 		"run the generic oracle paths (way-loop caches, full snoop broadcasts, rescan scheduler) instead of the memory-system fast path")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	mf := machineflag.Register(flag.CommandLine)
 	flag.Parse()
+
+	machine, err := mf.Machine()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
 
 	stopProf, err := profiling.Start(*cpuprofile, *memprofile)
 	if err != nil {
@@ -80,6 +88,7 @@ func run() int {
 
 	name := strings.ToLower(*exp)
 	cfg := core.Config{
+		Machine:       machine,
 		Window:        arch.Cycles(*window),
 		Seed:          *seed,
 		NCPU:          *ncpu,
@@ -104,7 +113,7 @@ func run() int {
 		// reprices the materialized transaction trace, so it always runs
 		// the buffered pipeline.
 		ch := core.Run(core.Config{
-			Workload: workload.Multpgm, NCPU: 8,
+			Workload: workload.Multpgm, Machine: machine, NCPU: 8,
 			Window: arch.Cycles(*window), Seed: *seed,
 			Check: *checkFlag, Inject: injectCfg, Buffered: true,
 			Reference: *reference,

@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/arch"
 	"repro/internal/core"
+	"repro/internal/machineflag"
 	"repro/internal/metrics"
 	"repro/internal/profiling"
 	"repro/internal/report"
@@ -38,7 +39,14 @@ func run() int {
 		"worker-pool size for the workload runs (1 = serial)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	mf := machineflag.Register(flag.CommandLine)
 	flag.Parse()
+
+	machine, err := mf.Machine()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
 
 	stopProf, err := profiling.Start(*cpuprofile, *memprofile)
 	if err != nil {
@@ -53,7 +61,7 @@ func run() int {
 		return 2
 	}
 	fmt.Fprintf(os.Stderr, "running all three workloads for Table 10, %s for the detail dump...\n", kind)
-	set := report.RunSetParallel(core.Config{Window: arch.Cycles(*window), Seed: *seed, Check: *checkFlag, Reference: *reference},
+	set := report.RunSetParallel(core.Config{Machine: machine, Window: arch.Cycles(*window), Seed: *seed, Check: *checkFlag, Reference: *reference},
 		runner.Options{Parallelism: *parallel})
 	fmt.Print(report.Table10(set))
 	fmt.Print(report.Table11())

@@ -1,13 +1,16 @@
 // Command sweep runs the parameter-sweep experiments: the Figure 6
-// I-cache size/associativity re-simulation and the Figure 11 lock
-// contention sweep over CPU counts. Independent runs fan out across a
-// worker pool; -parallel 1 restores serial execution (output is
-// byte-identical either way).
+// I-cache size/associativity re-simulation, the Figure 11 lock
+// contention sweep over CPU counts, and the full-system geometry sweep
+// that re-runs the simulator at each data-cache configuration and
+// cross-validates the §4.2.2 replay oracle. Independent runs fan out
+// across a worker pool; -parallel 1 restores serial execution (output
+// is byte-identical either way).
 //
 // Usage:
 //
 //	sweep -exp figure6 [-window N] [-parallel N]
 //	sweep -exp figure11 [-cpus 2,4,6,8,12,16] [-parallel N]
+//	sweep -exp geometry [-machine 4d340|4d380] [-window N] [-parallel N]
 package main
 
 import (
@@ -19,16 +22,19 @@ import (
 	"strings"
 
 	"repro/internal/arch"
+	"repro/internal/cachesweep"
 	"repro/internal/core"
+	"repro/internal/machineflag"
 	"repro/internal/profiling"
 	"repro/internal/report"
 	"repro/internal/runner"
+	"repro/internal/trace"
 )
 
 func main() { os.Exit(run()) }
 
 func run() int {
-	exp := flag.String("exp", "figure6", "figure6 or figure11")
+	exp := flag.String("exp", "figure6", "figure6, figure11 or geometry")
 	window := flag.Int64("window", int64(arch.DefaultWindow), "traced window in cycles")
 	seed := flag.Int64("seed", 1, "random seed")
 	cpus := flag.String("cpus", "2,4,6,8,12,16", "CPU counts for figure11")
@@ -39,7 +45,14 @@ func run() int {
 		"worker-pool size for independent runs (1 = serial)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	mf := machineflag.Register(flag.CommandLine)
 	flag.Parse()
+
+	machine, err := mf.Machine()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
 
 	stopProf, err := profiling.Start(*cpuprofile, *memprofile)
 	if err != nil {
@@ -52,7 +65,8 @@ func run() int {
 	switch *exp {
 	case "figure6":
 		set := report.RunSetParallel(core.Config{
-			Window: arch.Cycles(*window), Seed: *seed, CollectIResim: true,
+			Machine: machine,
+			Window:  arch.Cycles(*window), Seed: *seed, CollectIResim: true,
 			Check: *checkFlag, Reference: *reference,
 		}, opts)
 		fmt.Print(report.Figure6(set))
@@ -79,9 +93,119 @@ func run() int {
 		pts, batch := report.RunFigure11Parallel(counts, arch.Cycles(*window), *seed, opts)
 		fmt.Print(report.Figure11(pts))
 		fmt.Fprint(os.Stderr, batch.Table())
+	case "geometry":
+		return geometry(machine, arch.Cycles(*window), *seed, opts)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		return 2
 	}
 	return 0
+}
+
+// osDMisses sums the classified OS data misses of one full-system run.
+func osDMisses(ch *core.Characterization) int64 {
+	var n int64
+	for cl := trace.MissClass(0); cl < trace.NumClasses; cl++ {
+		n += ch.Trace.Counts[1][0][cl]
+	}
+	return n
+}
+
+// geometry runs the data-cache sweep twice — once by replaying the
+// baseline machine's miss stream against each cache configuration (the
+// paper's §4.2.2 trace-driven method) and once by re-running the whole
+// system with the coherence-level cache actually resized — then prints
+// the two relative-miss curves side by side. The replay mirrors are
+// direct-mapped models, so set-associative points run replay-only. A
+// final run exercises the 4d380 preset (8 CPUs, 64 MB) end to end. The
+// invariant checker rides every full-system run; any violation fails
+// the sweep.
+func geometry(m arch.Machine, window arch.Cycles, seed int64, opts runner.Options) int {
+	fmt.Fprintf(os.Stderr, "geometry sweep on %s, window %d, seed %d\n", m, window, seed)
+
+	base := core.Run(core.Config{
+		Machine: m, Window: window, Seed: seed,
+		CollectDResim: true, Check: true,
+	})
+	bad := report.ReportViolations(os.Stderr, "baseline "+m.String(), base, 1)
+
+	cfgs := core.DefaultDSweepConfigs()
+	replay := base.DCacheSweep(cfgs)
+
+	// Direct full-system re-runs: one per direct-mapped configuration
+	// (the replay caches cannot model associativity, so those points
+	// have no comparable direct run).
+	type directPoint struct {
+		ch     *core.Characterization
+		misses int64
+	}
+	var directCfgs []cachesweep.Config
+	for _, cfg := range cfgs {
+		if cfg.Assoc == 1 {
+			directCfgs = append(directCfgs, cfg)
+		}
+	}
+	direct := runner.Map(len(directCfgs), opts, func(i int) directPoint {
+		m2 := m
+		m2.DCacheL2Size = directCfgs[i].Size
+		m2.DCacheL2Assoc = directCfgs[i].Assoc
+		ch := core.Run(core.Config{
+			Machine: m2, Window: window, Seed: seed, Check: true,
+		})
+		return directPoint{ch, osDMisses(ch)}
+	})
+	var directBase int64
+	for i, cfg := range directCfgs {
+		if cfg.Size == m.DCacheL2Size && cfg.Assoc == m.DCacheL2Assoc {
+			directBase = direct[i].misses
+		}
+	}
+
+	fmt.Printf("Data-cache geometry sweep: replay oracle vs direct full-system re-run\n")
+	fmt.Printf("(OS data misses relative to the %s point of each method)\n\n",
+		sizeLabel(m.DCacheL2Size))
+	fmt.Printf("  %-12s %14s %9s %14s %9s\n",
+		"cache", "replay misses", "rel", "direct misses", "rel")
+	di := 0
+	for i, cfg := range cfgs {
+		label := fmt.Sprintf("%s/%d-way", sizeLabel(cfg.Size), cfg.Assoc)
+		fmt.Printf("  %-12s %14d %9.2f", label, replay[i].OSMisses, replay[i].Relative)
+		if cfg.Assoc == 1 {
+			p := direct[di]
+			rel := 0.0
+			if directBase > 0 {
+				rel = float64(p.misses) / float64(directBase)
+			}
+			fmt.Printf(" %14d %9.2f\n", p.misses, rel)
+			bad = report.ReportViolations(os.Stderr, "direct "+label, p.ch, 1) || bad
+			di++
+		} else {
+			fmt.Printf(" %14s %9s\n", "-", "-")
+		}
+	}
+
+	// The 8-CPU / 64 MB preset, end to end with the checker on.
+	big, _ := machineflag.Preset("4d380")
+	bch := core.Run(core.Config{
+		Machine: big, Window: window, Seed: seed, Check: true,
+	})
+	bad = report.ReportViolations(os.Stderr, "preset "+big.String(), bch, 1) || bad
+	user, sys, idle := bch.TimeSplit()
+	all, osOnly, _ := bch.StallPct()
+	fmt.Printf("\n4d380 preset (%s):\n", big)
+	fmt.Printf("  time split user/sys/idle: %.1f%% / %.1f%% / %.1f%%\n", user, sys, idle)
+	fmt.Printf("  memory-stall share: %.1f%% of non-idle cycles (OS %.1f%%)\n", all, osOnly)
+	fmt.Printf("  OS data misses: %d\n", osDMisses(bch))
+
+	if bad {
+		return 1
+	}
+	return 0
+}
+
+func sizeLabel(n int) string {
+	if n >= 1<<20 && n%(1<<20) == 0 {
+		return fmt.Sprintf("%dM", n>>20)
+	}
+	return fmt.Sprintf("%dK", n>>10)
 }

@@ -11,7 +11,6 @@ import (
 	"fmt"
 	"sort"
 
-	"repro/internal/arch"
 	"repro/internal/core"
 	"repro/internal/kernel"
 	"repro/internal/kmem"
@@ -85,12 +84,13 @@ func main() {
 		ents = append(ents, ent{kt.ByID(id), n})
 	}
 	sort.Slice(ents, func(i, j int) bool { return ents[i].n > ents[j].n })
+	icache := ch.Cfg.Machine.ICacheSize
 	fmt.Printf("Top self-interference (Dispos) routines, X in I-cache multiples (Figure 5):\n")
 	for i, e := range ents {
 		if i == 8 {
 			break
 		}
-		fmt.Printf("  %-16s at %.2f×64KB  %6d misses\n",
-			e.r.Name, float64(e.r.Addr)/float64(arch.ICacheSize), e.n)
+		fmt.Printf("  %-16s at %.2f×%dKB  %6d misses\n",
+			e.r.Name, float64(e.r.Addr)/float64(icache), icache/1024, e.n)
 	}
 }

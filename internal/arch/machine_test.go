@@ -1,0 +1,113 @@
+package arch
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestDefaultMatchesConstants pins Default() to the package-level constants
+// field by field: the runtime descriptor and the historical constants must
+// describe the same machine.
+func TestDefaultMatchesConstants(t *testing.T) {
+	m := Default()
+	want := Machine{
+		NCPU:              DefaultCPUs,
+		ClockMHz:          ClockMHz,
+		ICacheSize:        ICacheSize,
+		ICacheAssoc:       1,
+		DCacheL1Size:      DCacheL1Size,
+		DCacheL1Assoc:     1,
+		DCacheL2Size:      DCacheL2Size,
+		DCacheL2Assoc:     1,
+		MemBytes:          MemBytes,
+		TLBEntries:        TLBEntries,
+		MissStallCycles:   MissStallCycles,
+		L1MissL2HitCycles: L1MissL2HitCycles,
+	}
+	if m != want {
+		t.Fatalf("Default() = %+v, want %+v", m, want)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatalf("Default().Validate() = %v", err)
+	}
+	if got := m.MemFrames(); got != MemFrames {
+		t.Fatalf("Default().MemFrames() = %d, want %d", got, MemFrames)
+	}
+}
+
+// TestValidateRejectsDegenerateConfigs drives Validate through every
+// degeneracy it guards against and checks the error names the bad field.
+func TestValidateRejectsDegenerateConfigs(t *testing.T) {
+	mod := func(f func(*Machine)) Machine {
+		m := Default()
+		f(&m)
+		return m
+	}
+	tests := []struct {
+		name      string
+		m         Machine
+		wantField string // substring the error must contain; "" = valid
+	}{
+		{"default", Default(), ""},
+		{"zero value", Machine{}, "NCPU"},
+		{"zero cpus", mod(func(m *Machine) { m.NCPU = 0 }), "NCPU"},
+		{"negative cpus", mod(func(m *Machine) { m.NCPU = -2 }), "NCPU"},
+		{"zero clock", mod(func(m *Machine) { m.ClockMHz = 0 }), "ClockMHz"},
+		{"icache not power of two", mod(func(m *Machine) { m.ICacheSize = 96 * 1024 }), "ICacheSize"},
+		{"icache below kernel-text floor", mod(func(m *Machine) { m.ICacheSize = 8 * 1024 }), "ICacheSize"},
+		{"icache assoc zero", mod(func(m *Machine) { m.ICacheAssoc = 0 }), "ICacheAssoc"},
+		{"icache assoc not power of two", mod(func(m *Machine) { m.ICacheAssoc = 3 }), "ICacheAssoc"},
+		{"l1 not power of two", mod(func(m *Machine) { m.DCacheL1Size = 48 * 1024 }), "DCacheL1Size"},
+		{"l1 assoc negative", mod(func(m *Machine) { m.DCacheL1Assoc = -1 }), "DCacheL1Assoc"},
+		{"l2 not power of two", mod(func(m *Machine) { m.DCacheL2Size = 3 << 20 }), "DCacheL2Size"},
+		{"l2 assoc exceeds lines", mod(func(m *Machine) {
+			m.DCacheL1Size = 64
+			m.DCacheL1Assoc = 8
+		}), "DCacheL1Assoc"},
+		{"l1 bigger than l2", mod(func(m *Machine) {
+			m.DCacheL1Size = 512 * 1024
+			m.DCacheL2Size = 256 * 1024
+		}), "DCacheL1Size"},
+		{"memory not page multiple", mod(func(m *Machine) { m.MemBytes = 32*1024*1024 + 100 }), "MemBytes"},
+		{"memory smaller than reserved frames", mod(func(m *Machine) { m.MemBytes = 4 * 1024 * 1024 }), "MemBytes"},
+		{"zero memory", mod(func(m *Machine) { m.MemBytes = 0 }), "MemBytes"},
+		{"zero tlb", mod(func(m *Machine) { m.TLBEntries = 0 }), "TLBEntries"},
+		{"zero miss stall", mod(func(m *Machine) { m.MissStallCycles = 0 }), "MissStallCycles"},
+		{"negative l2-hit stall", mod(func(m *Machine) { m.L1MissL2HitCycles = -1 }), "L1MissL2HitCycles"},
+		{"valid 4d380-like", mod(func(m *Machine) {
+			m.NCPU = 8
+			m.MemBytes = 64 * 1024 * 1024
+		}), ""},
+		{"valid two-way 1M L2", mod(func(m *Machine) {
+			m.DCacheL2Size = 1 << 20
+			m.DCacheL2Assoc = 2
+		}), ""},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.m.Validate()
+			if tt.wantField == "" {
+				if err != nil {
+					t.Fatalf("Validate() = %v, want nil", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("Validate() = nil, want error naming %s", tt.wantField)
+			}
+			if !strings.Contains(err.Error(), tt.wantField) {
+				t.Fatalf("Validate() = %q, does not name %s", err, tt.wantField)
+			}
+		})
+	}
+}
+
+// TestMachineString spot-checks the one-line description format.
+func TestMachineString(t *testing.T) {
+	got := Default().String()
+	for _, want := range []string{"4×33MHz", "I=64K/1", "D=64K/1+256K/1", "mem=32M", "tlb=64", "stall=35/15"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("Default().String() = %q, missing %q", got, want)
+		}
+	}
+}

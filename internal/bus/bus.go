@@ -138,6 +138,12 @@ type System struct {
 	// Reference selects the generic oracle paths (full snoop loops, no
 	// presence filter, way-loop caches). Set via SetReference.
 	Reference bool
+
+	// M is the machine the system was built for; missStall and l2Stall
+	// cache its stall costs for the hot paths.
+	M        arch.Machine
+	missStall arch.Cycles
+	l2Stall   arch.Cycles
 	// pres is the snoop presence filter (nil in reference mode or beyond
 	// maxPresenceCPUs, where the full loops run instead).
 	pres *presence
@@ -171,18 +177,25 @@ func (s *System) jitter() arch.Cycles {
 	return s.Jitter()
 }
 
-// NewSystem builds the cache complex for n CPUs with the 4D/340 geometry.
-// rec may be nil.
-func NewSystem(n int, rec Recorder) *System {
-	s := &System{N: n, rec: rec}
+// NewSystem builds the cache complex of machine m (the 4D/340 geometry
+// when m is arch.Default()). rec may be nil.
+func NewSystem(m arch.Machine, rec Recorder) *System {
+	n := m.NCPU
+	s := &System{
+		N:         n,
+		rec:       rec,
+		M:         m,
+		missStall: m.MissStallCycles,
+		l2Stall:   m.L1MissL2HitCycles,
+	}
 	s.I = make([]*cache.Cache, n)
 	s.D = make([]*cache.DataHierarchy, n)
 	for i := 0; i < n; i++ {
-		s.I[i] = cache.New("icache", arch.ICacheSize, 1)
-		s.D[i] = cache.NewDataHierarchy("dcache")
+		s.I[i] = cache.New("icache", m.ICacheSize, m.ICacheAssoc)
+		s.D[i] = cache.NewDataHierarchy("dcache", m)
 	}
 	if n <= maxPresenceCPUs {
-		s.pres = newPresence()
+		s.pres = newPresence(m.MemFrames())
 	}
 	return s
 }
@@ -197,7 +210,7 @@ func (s *System) SetReference(ref bool) {
 	if ref {
 		s.pres = nil
 	} else if s.pres == nil && s.N <= maxPresenceCPUs {
-		s.pres = newPresence()
+		s.pres = newPresence(s.M.MemFrames())
 	}
 	for q := 0; q < s.N; q++ {
 		s.I[q].SetGeneric(ref)
@@ -251,7 +264,7 @@ func (s *System) Fetch(c arch.CPUID, a arch.PAddr, now arch.Cycles) Outcome {
 	}
 	s.Stats.Reads++
 	s.record(Txn{Ticks: TicksOf(now), Addr: a.Block(), CPU: c, Kind: TxnRead})
-	return Outcome{Missed: true, Stall: arch.MissStallCycles + s.jitter()}
+	return Outcome{Missed: true, Stall: s.missStall + s.jitter()}
 }
 
 // Read performs a data load of the block containing a by CPU c.
@@ -276,7 +289,7 @@ func (s *System) Read(c arch.CPUID, a arch.PAddr, now arch.Cycles) Outcome {
 		if s.Check != nil {
 			s.Check.OnData(c, a.Block(), false, check.LevelL2, now)
 		}
-		return Outcome{L2Hit: true, Stall: arch.L1MissL2HitCycles}
+		return Outcome{L2Hit: true, Stall: s.l2Stall}
 	}
 	// Bus read: snoop remote caches.
 	s.Stats.Reads++
@@ -322,7 +335,7 @@ func (s *System) Read(c arch.CPUID, a arch.PAddr, now arch.Cycles) Outcome {
 	if s.Check != nil {
 		s.Check.OnData(c, a.Block(), false, check.LevelFill, now)
 	}
-	return Outcome{Missed: true, Stall: arch.MissStallCycles + s.jitter()}
+	return Outcome{Missed: true, Stall: s.missStall + s.jitter()}
 }
 
 // Write performs a data store to the block containing a by CPU c.
@@ -336,7 +349,7 @@ func (s *System) Write(c arch.CPUID, a arch.PAddr, now arch.Cycles) Outcome {
 		out := Outcome{L2Hit: res.Result == cache.DataL2Hit}
 		lvl := check.LevelL1
 		if out.L2Hit {
-			out.Stall = arch.L1MissL2HitCycles
+			out.Stall = s.l2Stall
 			lvl = check.LevelL2
 		}
 		if wasShared {
@@ -349,7 +362,7 @@ func (s *System) Write(c arch.CPUID, a arch.PAddr, now arch.Cycles) Outcome {
 				s.D[c].L2.SetShared(a, true)
 				s.D[c].L2.Clean(a)
 				out.Upgraded = true
-				out.Stall += arch.MissStallCycles + s.jitter()
+				out.Stall += s.missStall + s.jitter()
 				if s.Check != nil {
 					s.Check.OnData(c, a.Block(), true, lvl, now)
 				}
@@ -360,7 +373,7 @@ func (s *System) Write(c arch.CPUID, a arch.PAddr, now arch.Cycles) Outcome {
 			s.invalidateRemote(c, a)
 			s.D[c].L2.SetShared(a, false)
 			out.Upgraded = true
-			out.Stall += arch.MissStallCycles + s.jitter()
+			out.Stall += s.missStall + s.jitter()
 		}
 		if s.Check != nil {
 			s.Check.OnData(c, a.Block(), true, lvl, now)
@@ -412,7 +425,7 @@ func (s *System) Write(c arch.CPUID, a arch.PAddr, now arch.Cycles) Outcome {
 		if s.Check != nil {
 			s.Check.OnData(c, a.Block(), true, check.LevelFill, now)
 		}
-		return Outcome{Missed: true, Stall: arch.MissStallCycles + s.jitter()}
+		return Outcome{Missed: true, Stall: s.missStall + s.jitter()}
 	}
 	// Write miss: read-exclusive (invalidate protocol).
 	s.Stats.ReadExs++
@@ -426,7 +439,7 @@ func (s *System) Write(c arch.CPUID, a arch.PAddr, now arch.Cycles) Outcome {
 	if s.Check != nil {
 		s.Check.OnData(c, a.Block(), true, check.LevelFill, now)
 	}
-	return Outcome{Missed: true, Stall: arch.MissStallCycles + s.jitter()}
+	return Outcome{Missed: true, Stall: s.missStall + s.jitter()}
 }
 
 func (s *System) invalidateRemote(c arch.CPUID, a arch.PAddr) {
@@ -461,7 +474,7 @@ func (s *System) Uncached(c arch.CPUID, a arch.PAddr, now arch.Cycles, stallFree
 	if stallFree {
 		return Outcome{}
 	}
-	return Outcome{Missed: true, Stall: arch.MissStallCycles + s.jitter()}
+	return Outcome{Missed: true, Stall: s.missStall + s.jitter()}
 }
 
 // Bypass performs a block transfer access that deliberately bypasses the
@@ -503,7 +516,7 @@ func (s *System) Bypass(c arch.CPUID, a arch.PAddr, blocks int, write bool, now 
 			s.Check.OnBypass(c, ba, write, now)
 		}
 	}
-	return Outcome{Missed: true, Stall: arch.MissStallCycles + s.jitter()}
+	return Outcome{Missed: true, Stall: s.missStall + s.jitter()}
 }
 
 // InvalidateCodeFrame flushes ALL instruction caches. The machine has no

@@ -6,6 +6,14 @@ import (
 	"repro/internal/arch"
 	"repro/internal/cache"
 )
+// testMachine returns the default machine with n CPUs, for tests that vary
+// only the processor count.
+func testMachine(n int) arch.Machine {
+	m := arch.Default()
+	m.NCPU = n
+	return m
+}
+
 
 // recSink captures transactions for assertions.
 type recSink struct{ txns []Txn }
@@ -22,7 +30,7 @@ func (r *recSink) kinds() []TxnKind {
 
 func TestFetchMissAndHit(t *testing.T) {
 	rec := &recSink{}
-	s := NewSystem(2, rec)
+	s := NewSystem(testMachine(2), rec)
 	out := s.Fetch(0, 0x1004, 100)
 	if !out.Missed || out.Stall != arch.MissStallCycles {
 		t.Fatalf("first fetch: %+v, want miss with 35-cycle stall", out)
@@ -39,7 +47,7 @@ func TestFetchMissAndHit(t *testing.T) {
 }
 
 func TestICachePrivacy(t *testing.T) {
-	s := NewSystem(2, nil)
+	s := NewSystem(testMachine(2), nil)
 	s.Fetch(0, 0x1000, 0)
 	if out := s.Fetch(1, 0x1000, 1); !out.Missed {
 		t.Error("CPU 1 should miss on a block only in CPU 0's I-cache")
@@ -47,7 +55,7 @@ func TestICachePrivacy(t *testing.T) {
 }
 
 func TestReadSharingStates(t *testing.T) {
-	s := NewSystem(2, nil)
+	s := NewSystem(testMachine(2), nil)
 	a := arch.PAddr(0x2000)
 	s.Read(0, a, 0)
 	if s.D[0].L2.Shared(a) {
@@ -61,7 +69,7 @@ func TestReadSharingStates(t *testing.T) {
 
 func TestWriteMissInvalidatesRemote(t *testing.T) {
 	rec := &recSink{}
-	s := NewSystem(2, rec)
+	s := NewSystem(testMachine(2), rec)
 	a := arch.PAddr(0x3000)
 	s.Read(1, a, 0) // CPU 1 caches it
 	out := s.Write(0, a, 1)
@@ -87,7 +95,7 @@ func TestWriteMissInvalidatesRemote(t *testing.T) {
 
 func TestWriteHitSharedUpgrades(t *testing.T) {
 	rec := &recSink{}
-	s := NewSystem(2, rec)
+	s := NewSystem(testMachine(2), rec)
 	a := arch.PAddr(0x4000)
 	s.Read(0, a, 0)
 	s.Read(1, a, 1) // both Shared now
@@ -114,7 +122,7 @@ func TestWriteHitSharedUpgrades(t *testing.T) {
 
 func TestWriteHitExclusiveIsSilent(t *testing.T) {
 	rec := &recSink{}
-	s := NewSystem(2, rec)
+	s := NewSystem(testMachine(2), rec)
 	a := arch.PAddr(0x5000)
 	s.Read(0, a, 0) // Exclusive (no other holder)
 	rec.txns = nil
@@ -126,7 +134,7 @@ func TestWriteHitExclusiveIsSilent(t *testing.T) {
 
 func TestWriteBackOnDirtyEviction(t *testing.T) {
 	rec := &recSink{}
-	s := NewSystem(1, rec)
+	s := NewSystem(testMachine(1), rec)
 	a := arch.PAddr(0x6000)
 	s.Write(0, a, 0) // dirty fill
 	rec.txns = nil
@@ -145,7 +153,7 @@ func TestWriteBackOnDirtyEviction(t *testing.T) {
 }
 
 func TestL2HitStall(t *testing.T) {
-	s := NewSystem(1, nil)
+	s := NewSystem(testMachine(1), nil)
 	a := arch.PAddr(0x7000)
 	s.Read(0, a, 0)
 	// Displace from L1 only.
@@ -158,7 +166,7 @@ func TestL2HitStall(t *testing.T) {
 
 func TestUncached(t *testing.T) {
 	rec := &recSink{}
-	s := NewSystem(1, rec)
+	s := NewSystem(testMachine(1), rec)
 	out := s.Uncached(0, 0x8001, 10, true)
 	if out.Stall != 0 {
 		t.Errorf("stall-free uncached stalled: %+v", out)
@@ -179,7 +187,7 @@ func TestUncached(t *testing.T) {
 func TestInvalidateCodeFrameFlushesEverything(t *testing.T) {
 	// The machine has no selective I-cache invalidation: a code-page
 	// reallocation flushes the whole I-cache on every CPU.
-	s := NewSystem(2, nil)
+	s := NewSystem(testMachine(2), nil)
 	f := uint32(12)
 	base := arch.FrameAddr(f)
 	other := arch.PAddr(0x40000) // unrelated code
@@ -206,7 +214,7 @@ func TestInvalidateCodeFrameFlushesEverything(t *testing.T) {
 }
 
 func TestStatsTransactions(t *testing.T) {
-	s := NewSystem(2, nil)
+	s := NewSystem(testMachine(2), nil)
 	s.Fetch(0, 0x100, 0)  // read
 	s.Read(0, 0x9000, 1)  // read
 	s.Write(1, 0x9000, 2) // readex
@@ -226,7 +234,7 @@ func TestStatsTransactions(t *testing.T) {
 // to a small address pool, at most one cache holds any block dirty, and a
 // dirty copy is never Shared.
 func TestCoherenceInvariant(t *testing.T) {
-	s := NewSystem(3, nil)
+	s := NewSystem(testMachine(3), nil)
 	addrs := []arch.PAddr{0x100, 0x200, 0x300, 0x100 + arch.PAddr(arch.DCacheL2Size)}
 	ops := 0
 	for i := 0; i < 4000; i++ {
@@ -257,7 +265,7 @@ func TestCoherenceInvariant(t *testing.T) {
 }
 
 func TestCacheGeometryOfSystem(t *testing.T) {
-	s := NewSystem(4, nil)
+	s := NewSystem(testMachine(4), nil)
 	if len(s.I) != 4 || len(s.D) != 4 {
 		t.Fatal("wrong CPU count")
 	}
@@ -272,7 +280,7 @@ func TestCacheGeometryOfSystem(t *testing.T) {
 
 func TestBypassTransfers(t *testing.T) {
 	rec := &recSink{}
-	s := NewSystem(2, rec)
+	s := NewSystem(testMachine(2), rec)
 	a := arch.PAddr(0x9000)
 	// CPU 1 caches the block; a bypass write must invalidate it without
 	// filling CPU 0's cache.
@@ -309,7 +317,7 @@ func TestBypassTransfers(t *testing.T) {
 
 func TestWriteUpdateProtocol(t *testing.T) {
 	rec := &recSink{}
-	s := NewSystem(2, rec)
+	s := NewSystem(testMachine(2), rec)
 	s.Proto = WriteUpdate
 	a := arch.PAddr(0xA000)
 	s.Read(0, a, 0)

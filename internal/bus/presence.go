@@ -30,8 +30,8 @@ type presence struct {
 	pages []*presencePage // indexed by physical frame
 }
 
-func newPresence() *presence {
-	return &presence{pages: make([]*presencePage, arch.MemFrames)}
+func newPresence(frames int) *presence {
+	return &presence{pages: make([]*presencePage, frames)}
 }
 
 func blockIndex(a arch.PAddr) uint32 {

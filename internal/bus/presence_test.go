@@ -53,7 +53,7 @@ func checkPresence(t *testing.T, s *System, pool []arch.PAddr, step int) {
 func TestPresenceFilterMatchesResidency(t *testing.T) {
 	pool := presencePool()
 	for _, proto := range []Protocol{WriteInvalidate, WriteUpdate} {
-		s := NewSystem(4, nil)
+		s := NewSystem(testMachine(4), nil)
 		s.Proto = proto
 		if s.pres == nil {
 			t.Fatal("presence filter not allocated in fast mode")
@@ -85,7 +85,7 @@ func TestPresenceFilterMatchesResidency(t *testing.T) {
 // coherence outcomes match the fast path (covered end-to-end by the
 // report-identity test; here we just pin the filter's absence).
 func TestPresenceFilterReferenceModeDisabled(t *testing.T) {
-	s := NewSystem(2, nil)
+	s := NewSystem(testMachine(2), nil)
 	s.SetReference(true)
 	if s.pres != nil {
 		t.Fatal("presence filter should be nil in reference mode")
@@ -108,7 +108,7 @@ func TestPresenceFilterReferenceModeDisabled(t *testing.T) {
 // — now read from the O(1) maintained counter, not a line scan. Empty
 // caches report zero, and a second flush reports zero again.
 func TestInvalidateCodeFrameCounts(t *testing.T) {
-	s := NewSystem(2, nil)
+	s := NewSystem(testMachine(2), nil)
 	if n := s.InvalidateCodeFrame(3); n != 0 {
 		t.Fatalf("flush of empty caches reported %d blocks, want 0", n)
 	}
@@ -139,7 +139,7 @@ func TestInvalidateCodeFrameCounts(t *testing.T) {
 // presence filter's lazily-allocated pages exist, reads, upgrade writes
 // and the invalidation snoops they trigger must not allocate.
 func TestWritePingPongNoAllocs(t *testing.T) {
-	s := NewSystem(2, nil)
+	s := NewSystem(testMachine(2), nil)
 	a := arch.PAddr(0x8000)
 	b := arch.PAddr(0x8000 + arch.DCacheL2Size) // evicts a's line
 	// Warm up: fault in the presence pages and shared-bit arrays.

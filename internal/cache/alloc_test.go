@@ -11,7 +11,7 @@ import (
 // conflict evictions within physical memory must never allocate (the
 // per-frame resident index is pre-sized for all of physical memory).
 func TestDMAccessNoAllocs(t *testing.T) {
-	h := NewDataHierarchy("d")
+	h := NewDataHierarchy("d", arch.Default())
 	addrs := []arch.PAddr{
 		0x0, 0x40, 0x1000,
 		arch.DCacheL1Size, // L1 conflict with 0x0

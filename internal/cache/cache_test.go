@@ -183,7 +183,7 @@ func TestNewPanicsOnBadGeometry(t *testing.T) {
 }
 
 func TestHierarchyLevels(t *testing.T) {
-	h := NewDataHierarchy("cpu0")
+	h := NewDataHierarchy("cpu0", arch.Default())
 	a := arch.PAddr(0x1000)
 	if r := h.Access(a, false); r.Result != DataMiss {
 		t.Errorf("first access = %v, want miss", r.Result)
@@ -204,7 +204,7 @@ func TestHierarchyLevels(t *testing.T) {
 }
 
 func TestHierarchyInclusionOnL2Eviction(t *testing.T) {
-	h := NewDataHierarchy("cpu0")
+	h := NewDataHierarchy("cpu0", arch.Default())
 	a := arch.PAddr(0x2000)
 	h.Access(a, false)
 	// Evict a from L2: same L2 set → stride 256 KB.
@@ -221,7 +221,7 @@ func TestHierarchyInclusionOnL2Eviction(t *testing.T) {
 }
 
 func TestHierarchyWriteBackPropagation(t *testing.T) {
-	h := NewDataHierarchy("cpu0")
+	h := NewDataHierarchy("cpu0", arch.Default())
 	a := arch.PAddr(0x3000)
 	h.Access(a, false) // clean fill
 	h.Access(a, true)  // L1 write hit — must mark L2 dirty too
@@ -233,7 +233,7 @@ func TestHierarchyWriteBackPropagation(t *testing.T) {
 }
 
 func TestHierarchyInvalidate(t *testing.T) {
-	h := NewDataHierarchy("cpu0")
+	h := NewDataHierarchy("cpu0", arch.Default())
 	a := arch.PAddr(0x4000)
 	h.Access(a, true)
 	was, dirty := h.Invalidate(a)
@@ -254,7 +254,7 @@ func TestHierarchyInvalidate(t *testing.T) {
 func TestHierarchyBusVisibilityMatchesFlatL2(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
-		h := NewDataHierarchy("h")
+		h := NewDataHierarchy("h", arch.Default())
 		ref := New("ref", arch.DCacheL2Size, 1)
 		for i := 0; i < 3000; i++ {
 			a := arch.PAddr(rng.Intn(1 << 22))

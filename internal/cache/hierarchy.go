@@ -19,13 +19,15 @@ type DataHierarchy struct {
 	dm bool
 }
 
-// NewDataHierarchy builds the 4D/340 data hierarchy.
-func NewDataHierarchy(name string) *DataHierarchy {
+// NewDataHierarchy builds the data hierarchy of machine m (the 4D/340's
+// 64 KB + 256 KB direct-mapped pair on the default machine). The combined
+// direct-mapped fast path engages whenever both levels have a single way.
+func NewDataHierarchy(name string, m arch.Machine) *DataHierarchy {
 	h := &DataHierarchy{
-		L1: New(name+".L1", arch.DCacheL1Size, 1),
-		L2: New(name+".L2", arch.DCacheL2Size, 1),
+		L1: New(name+".L1", m.DCacheL1Size, m.DCacheL1Assoc),
+		L2: New(name+".L2", m.DCacheL2Size, m.DCacheL2Assoc),
 	}
-	h.dm = true
+	h.dm = h.L1.assoc == 1 && h.L2.assoc == 1
 	return h
 }
 

@@ -24,7 +24,7 @@ func (v flatView) L1Resident(cpu int, a arch.PAddr) bool { return false }
 // shadow state without allocating. The checker runs on the same per-event
 // hot path as the streaming classifier.
 func TestShadowUpdateZeroAlloc(t *testing.T) {
-	k := check.New(flatView{4})
+	k := check.New(flatView{4}, arch.MemFrames)
 	const a = arch.PAddr(0x4000)
 	const code = arch.PAddr(0x8000)
 	// Warm up: first touch allocates the shadow pages and copy tables.

@@ -232,13 +232,15 @@ type Checker struct {
 	intrLocks []bool
 }
 
-// New builds a checker over the given cache view.
-func New(view BusView) *Checker {
+// New builds a checker over the given cache view. frames sizes the shadow
+// page table to the machine's physical memory (pages auto-grow past it for
+// fabricated test addresses).
+func New(view BusView, frames int) *Checker {
 	n := view.NCPUs()
 	return &Checker{
 		view:      view,
 		n:         n,
-		pages:     make([]*shadowPage, arch.MemFrames),
+		pages:     make([]*shadowPage, frames),
 		iEpochNow: make([]int64, n),
 		held:      make([][]heldLock, n),
 		intrDepth: make([]int, n),

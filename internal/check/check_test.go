@@ -11,8 +11,9 @@ import (
 
 // sys builds a 4-CPU cache complex with the checker attached.
 func sys() (*bus.System, *check.Checker) {
-	s := bus.NewSystem(4, nil)
-	k := check.New(s)
+	m := arch.Default()
+	s := bus.NewSystem(m, nil)
+	k := check.New(s, m.MemFrames())
 	s.Check = k
 	return s, k
 }

@@ -11,7 +11,7 @@ import (
 )
 
 func newAnalyzer() (*Analyzer, *kmem.Layout) {
-	l := kmem.NewLayout()
+	l := kmem.NewLayout(arch.Default())
 	return NewAnalyzer(l, 8), l
 }
 

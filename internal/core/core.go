@@ -24,7 +24,11 @@ import (
 type Config struct {
 	// Workload is one of workload.Pmake, Multpgm, Oracle.
 	Workload workload.Kind
-	// NCPU is the processor count (default 4, the measured machine).
+	// Machine is the simulated hardware; the zero value means
+	// arch.Default() (the measured 4D/340). NCPU, when set, overrides
+	// Machine.NCPU.
+	Machine arch.Machine
+	// NCPU is the processor count (default Machine.NCPU).
 	NCPU int
 	// Seed makes runs reproducible (default 1).
 	Seed int64
@@ -82,8 +86,13 @@ func (c Config) withDefaults() Config {
 	if c.Warmup <= 0 {
 		c.Warmup = c.Window / 2
 	}
+	if c.Machine == (arch.Machine{}) {
+		c.Machine = arch.Default()
+	}
 	if c.NCPU == 0 {
-		c.NCPU = arch.DefaultCPUs
+		c.NCPU = c.Machine.NCPU
+	} else {
+		c.Machine.NCPU = c.NCPU
 	}
 	return c
 }
@@ -105,6 +114,7 @@ func Run(cfg Config) *Characterization {
 	cfg = cfg.withDefaults()
 	streaming := !cfg.NoTrace && !cfg.Buffered
 	s := sim.New(sim.Config{
+		Machine:        cfg.Machine,
 		NCPU:           cfg.NCPU,
 		Seed:           cfg.Seed,
 		Window:         cfg.Window,
@@ -191,9 +201,10 @@ func (c *Characterization) StallPct() (all, osOnly, osInduced float64) {
 	}
 	r := c.Trace
 	induced := r.Counts[0][0][trace.DispOS] + r.Counts[0][1][trace.DispOS]
-	all = 100 * float64(r.Total*arch.MissStallCycles) / nonIdle
-	osOnly = 100 * float64(r.OSMissTotal*arch.MissStallCycles) / nonIdle
-	osInduced = osOnly + 100*float64(induced*arch.MissStallCycles)/nonIdle
+	stall := int64(c.Cfg.Machine.MissStallCycles)
+	all = 100 * float64(r.Total*stall) / nonIdle
+	osOnly = 100 * float64(r.OSMissTotal*stall) / nonIdle
+	osInduced = osOnly + 100*float64(induced*stall)/nonIdle
 	return all, osOnly, osInduced
 }
 
@@ -204,7 +215,7 @@ func (c *Characterization) stallShare(misses int64) float64 {
 	if nonIdle == 0 {
 		return 0
 	}
-	return 100 * float64(misses*arch.MissStallCycles) / nonIdle
+	return 100 * float64(misses*int64(c.Cfg.Machine.MissStallCycles)) / nonIdle
 }
 
 // OSIMissStallPct returns the stall share of OS instruction misses
@@ -233,7 +244,7 @@ func (c *Characterization) BlockOpStallPct() float64 {
 // sync-bus protocol of the measured machine and the simulated cacheable
 // atomic-RMW scenario, as percentages of non-idle time.
 func (c *Characterization) SyncStallPct() (current, rmwCached float64) {
-	cur, rmw := c.Sim.K.Locks.TotalSyncStall()
+	cur, rmw := c.Sim.K.Locks.TotalSyncStall(c.Cfg.Machine.MissStallCycles)
 	nonIdle := float64(c.NonIdle())
 	if nonIdle == 0 {
 		return 0, 0
@@ -249,18 +260,30 @@ func (c *Characterization) Figure6() cachesweep.Figure6Result {
 	return cachesweep.Figure6(c.Trace.IResim, c.Cfg.NCPU)
 }
 
-// DCacheSweep replays the data-miss stream against larger and associative
-// coherence-level caches (requires CollectDResim): the paper's §4.2.2
-// argument that Sharing misses set a floor no capacity removes.
-func (c *Characterization) DCacheSweep() []cachesweep.DPoint {
-	if c.Trace == nil || len(c.Trace.DResim) == 0 {
-		panic("core: DCacheSweep requires CollectDResim")
-	}
-	cfgs := []cachesweep.Config{
+// DefaultDSweepConfigs returns the canonical data-cache sweep points of
+// the §4.2.2 discussion, starting from the measured machine's 256 KB L2.
+// The geometry sweep (cmd/sweep -geometry) re-runs the full system at the
+// direct-mapped points of this same list, so the replay and direct sweeps
+// share one config source.
+func DefaultDSweepConfigs() []cachesweep.Config {
+	return []cachesweep.Config{
 		{Size: 256 << 10, Assoc: 1}, // the measured machine's L2
 		{Size: 512 << 10, Assoc: 1},
 		{Size: 1 << 20, Assoc: 1},
 		{Size: 4 << 20, Assoc: 2},
+	}
+}
+
+// DCacheSweep replays the data-miss stream against larger and associative
+// coherence-level caches (requires CollectDResim): the paper's §4.2.2
+// argument that Sharing misses set a floor no capacity removes. A nil cfgs
+// runs DefaultDSweepConfigs.
+func (c *Characterization) DCacheSweep(cfgs []cachesweep.Config) []cachesweep.DPoint {
+	if c.Trace == nil || len(c.Trace.DResim) == 0 {
+		panic("core: DCacheSweep requires CollectDResim")
+	}
+	if cfgs == nil {
+		cfgs = DefaultDSweepConfigs()
 	}
 	return cachesweep.DSweep(c.Trace.DResim, c.Cfg.NCPU, cfgs)
 }

@@ -11,7 +11,7 @@ import (
 func TestDCacheSweepSharingFloor(t *testing.T) {
 	ch := Run(Config{Workload: workload.Multpgm, Window: 4_000_000,
 		Warmup: 2_000_000, Seed: 6, CollectDResim: true})
-	pts := ch.DCacheSweep()
+	pts := ch.DCacheSweep(nil)
 	base, biggest := pts[0], pts[len(pts)-1]
 	t.Logf("256KB DM: %d OS D-misses (%d sharing)", base.OSMisses, base.OSSharing)
 	t.Logf("4MB 2-way: %d OS D-misses (%d sharing) — relative %.2f",

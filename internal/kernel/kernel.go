@@ -13,7 +13,10 @@ import (
 
 // Config tunes the kernel model.
 type Config struct {
-	// NCPU is the number of processors (default 4).
+	// Machine is the hardware the kernel boots on; the zero value means
+	// arch.Default(). NCPU, when set, overrides Machine.NCPU.
+	Machine arch.Machine
+	// NCPU is the number of processors (default Machine.NCPU).
 	NCPU int
 	// Seed drives every stochastic choice, making runs reproducible.
 	Seed int64
@@ -49,8 +52,13 @@ type Config struct {
 }
 
 func (c Config) withDefaults() Config {
+	if c.Machine == (arch.Machine{}) {
+		c.Machine = arch.Default()
+	}
 	if c.NCPU == 0 {
-		c.NCPU = arch.DefaultCPUs
+		c.NCPU = c.Machine.NCPU
+	} else {
+		c.Machine.NCPU = c.NCPU
 	}
 	if c.DiskLatencyCycles == 0 {
 		c.DiskLatencyCycles = 230_000 // ≈7 ms
@@ -65,9 +73,6 @@ func (c Config) withDefaults() Config {
 		// Half the 10 ms tick: CPU hogs decay in priority and lose
 		// the CPU quickly under timesharing load.
 		c.QuantumCycles = arch.ClockTickCycles / 2
-	}
-	if c.PrefillCachedFrames == 0 {
-		c.PrefillCachedFrames = kmem.PageableFrames - 360
 	}
 	if c.PoolFrames == 0 {
 		c.PoolFrames = 256
@@ -301,10 +306,17 @@ func (k *Kernel) BlockOpsSince(base Counters) []BlockOpRec {
 // New boots a kernel.
 func New(cfg Config) *Kernel {
 	cfg = cfg.withDefaults()
+	layout := kmem.NewLayout(cfg.Machine)
+	if cfg.PrefillCachedFrames == 0 {
+		// Default: all but FreeTarget×4 pageable frames hold stale
+		// page-cache contents at boot (resolved here because the count
+		// depends on the machine's memory size).
+		cfg.PrefillCachedFrames = layout.Pageable - 360
+	}
 	k := &Kernel{
 		Cfg:       cfg,
-		L:         kmem.NewLayout(),
-		F:         kmem.NewFrames(),
+		L:         layout,
+		F:         kmem.NewFrames(layout.Reserved, layout.Pageable),
 		Rand:      rand.New(rand.NewSource(cfg.Seed)),
 		procs:     make([]*Proc, kmem.NumProcs),
 		sleepQ:    make(map[SleepChan][]*Proc),
@@ -317,9 +329,9 @@ func New(cfg Config) *Kernel {
 		nextPID:   1,
 	}
 	if cfg.OptimizedText {
-		k.T = NewKTextOptimized(k.L.KernelText.Base)
+		k.T = NewKTextOptimized(k.L.KernelText.Base, cfg.Machine)
 	} else {
-		k.T = NewKText(k.L.KernelText.Base)
+		k.T = NewKText(k.L.KernelText.Base, cfg.Machine)
 	}
 	k.rt = newRtab(k.T)
 	k.Locks = klock.NewRegistry(kmem.NumProcs, 16, kmem.NumInodes, 32)
@@ -638,16 +650,16 @@ func (k *Kernel) Bclear(p Port, dst arch.PAddr, bytes int, why string) {
 func (k *Kernel) traversePfdat(p Port, want int) {
 	p.Exec(k.rt.vhand)
 	k.Traversals++
-	start := k.Rand.Intn(kmem.PageableFrames)
+	start := k.Rand.Intn(k.L.Pageable)
 	scanned := 0
 	// Scan until enough cached frames have been seen or the whole
 	// array has been swept.
 	seen := 0
-	for i := 0; i < kmem.PageableFrames && seen < want; i++ {
-		idx := (start + i) % kmem.PageableFrames
+	for i := 0; i < k.L.Pageable && seen < want; i++ {
+		idx := (start + i) % k.L.Pageable
 		p.Load(k.L.PfdatAddr(idx), kmem.PfdatEntrySize)
 		scanned++
-		fr := kmem.FirstUserFrame + uint32(idx)
+		fr := k.L.FirstUserFrame() + uint32(idx)
 		if k.F.State(fr) == kmem.StateCached {
 			seen++
 		}
@@ -736,7 +748,7 @@ func (k *Kernel) forgetFrame(fr uint32) {
 func (k *Kernel) WireAllBut(target int) {
 	// Flush the boot-time page cache.
 	for {
-		rec := k.F.Reclaim(kmem.PageableFrames)
+		rec := k.F.Reclaim(k.L.Pageable)
 		for _, rfr := range rec {
 			k.forgetFrame(rfr)
 		}

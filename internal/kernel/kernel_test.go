@@ -87,7 +87,7 @@ func newTestKernel() *Kernel {
 }
 
 func TestKTextPlacement(t *testing.T) {
-	kt := NewKText(0)
+	kt := NewKText(0, arch.Default())
 	if kt.TotalSize > kmem.KernelTextSize {
 		t.Fatalf("text image %d bytes exceeds %d", kt.TotalSize, kmem.KernelTextSize)
 	}
@@ -777,8 +777,8 @@ func TestMemlockNotHeldAcrossTraversal(t *testing.T) {
 }
 
 func TestOptimizedTextLayout(t *testing.T) {
-	opt := NewKTextOptimized(0)
-	std := NewKText(0)
+	opt := NewKTextOptimized(0, arch.Default())
+	std := NewKText(0, arch.Default())
 	if opt.TotalSize != kmem.KernelTextSize {
 		t.Fatalf("optimized image size = %d", opt.TotalSize)
 	}

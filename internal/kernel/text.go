@@ -191,15 +191,15 @@ type KText struct {
 }
 
 // NewKText places the kernel image with the shipped (conflict-prone)
-// layout, starting at the base of the kernel text region.
-func NewKText(base arch.PAddr) *KText { return newKText(base, false) }
+// layout, starting at the base of the kernel text region of machine m.
+func NewKText(base arch.PAddr, m arch.Machine) *KText { return newKText(base, m, false) }
 
 // NewKTextOptimized places the image with the Section 4.2.1 layout
 // optimization: the hot loop-less paths occupy exclusive I-cache offsets,
 // and the warm file-system/driver code is placed so its cache sets only
 // collide with cold filler — "purposely laying out the basic blocks in the
 // OS object code to avoid cache conflicts".
-func NewKTextOptimized(base arch.PAddr) *KText { return newKText(base, true) }
+func NewKTextOptimized(base arch.PAddr, m arch.Machine) *KText { return newKText(base, m, true) }
 
 // hotRoutines are the frequently-executed, latency-critical paths the
 // optimized layout protects (the bank-0 routines minus the bulky
@@ -219,9 +219,13 @@ var hotRoutines = map[string]bool{
 	"idle_loop": true, "pipe_rw": true,
 }
 
-func newKText(base arch.PAddr, optimized bool) *KText {
+func newKText(base arch.PAddr, m arch.Machine, optimized bool) *KText {
 	t := &KText{byName: make(map[string]*Routine)}
-	end := base + kmem.KernelTextSize
+	// The image spans 13 I-cache banks of the machine it runs on
+	// (Figure 5's span on the default machine); the bank size drives the
+	// optimized layout's set math below.
+	icache := uint32(m.ICacheSize)
+	end := base + arch.PAddr(13*icache)
 	next := base
 	alignBlock := func(a arch.PAddr) arch.PAddr {
 		if a%arch.BlockSize != 0 {
@@ -313,7 +317,7 @@ func newKText(base arch.PAddr, optimized bool) *KText {
 		if cur > end {
 			// next = end below would mask the overflow, and the
 			// tail-remainder subtraction would wrap; fail loudly.
-			panic("kernel: optimized text layout overflows KernelTextSize")
+			panic("kernel: optimized text layout overflows the kernel text region")
 		}
 		for cur+fillerSize <= end {
 			f := add(fmt.Sprintf("misc_%02d", i), fillerSize, "", cur)
@@ -341,7 +345,7 @@ func newKText(base arch.PAddr, optimized bool) *KText {
 	}
 	t.TotalSize = uint32(next - base)
 	if next > end {
-		panic("kernel: text inventory overflows KernelTextSize")
+		panic("kernel: text inventory overflows the kernel text region")
 	}
 	// Keep Routines sorted by address (At() binary-searches).
 	sortRoutines(t.Routines)

@@ -19,7 +19,7 @@ func TestHotRoutinesAllExistInImage(t *testing.T) {
 }
 
 func TestOptimizedWarmRoutinesAvoidHotSets(t *testing.T) {
-	kt := NewKTextOptimized(0)
+	kt := NewKTextOptimized(0, arch.Default())
 	// Recompute the protected extent: hot routines pack from offset 0.
 	var hotEnd uint32
 	for _, r := range kt.Routines {

@@ -448,10 +448,11 @@ func ReplayCached(log []Event) int64 {
 
 // SyncCost summarizes the CPU stall attributable to this lock under both
 // protocols (Table 10): the sync-bus protocol charges SyncOpCycles per
-// operation; the cacheable-lock machine charges a main-bus miss per replay
-// bus access.
-func (l *Lock) SyncCost() (current, rmwCached arch.Cycles) {
+// operation; the cacheable-lock machine charges missStall (the machine's
+// per-bus-access stall, arch.MissStallCycles on the measured one) per
+// replay bus access.
+func (l *Lock) SyncCost(missStall arch.Cycles) (current, rmwCached arch.Cycles) {
 	current = l.stallCycles()
-	rmwCached = arch.Cycles(ReplayCached(l.sortedLog())) * arch.MissStallCycles
+	rmwCached = arch.Cycles(ReplayCached(l.sortedLog())) * missStall
 	return current, rmwCached
 }

@@ -185,7 +185,7 @@ func TestSyncCost(t *testing.T) {
 	l := NewLock("x")
 	l.Acquire(0, 100)
 	l.Release(0, 120)
-	cur, rmw := l.SyncCost()
+	cur, rmw := l.SyncCost(arch.MissStallCycles)
 	// One multi-transaction acquire plus one releasing write.
 	if cur != AcquireCycles+ReleaseCycles {
 		t.Errorf("current = %d, want %d", cur, AcquireCycles+ReleaseCycles)
@@ -261,7 +261,7 @@ func TestTotalSyncStall(t *testing.T) {
 	l := r.Get(Bfreelock)
 	l.Acquire(0, 100)
 	l.Release(0, 120)
-	cur, rmw := r.TotalSyncStall()
+	cur, rmw := r.TotalSyncStall(arch.MissStallCycles)
 	if cur != AcquireCycles+ReleaseCycles || rmw != arch.MissStallCycles {
 		t.Errorf("TotalSyncStall = (%d,%d)", cur, rmw)
 	}

@@ -152,9 +152,9 @@ func (r *Registry) AllStats() []Stats {
 // TotalSyncStall sums the Table 10 stall estimates over every kernel lock:
 // the current sync-bus protocol and the simulated cacheable atomic-RMW
 // machine.
-func (r *Registry) TotalSyncStall() (current, rmwCached arch.Cycles) {
+func (r *Registry) TotalSyncStall(missStall arch.Cycles) (current, rmwCached arch.Cycles) {
 	add := func(l *Lock) {
-		c, m := l.SyncCost()
+		c, m := l.SyncCost(missStall)
 		current += c
 		rmwCached += m
 	}

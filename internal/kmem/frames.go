@@ -44,6 +44,7 @@ type frameInfo struct {
 // a pfdat traversal, which is how memory pressure produces the paper's
 // third block operation.
 type Frames struct {
+	reserved  int // first pageable frame number
 	info      []frameInfo
 	buckets   [][]uint32
 	freeCount int
@@ -55,18 +56,21 @@ type Frames struct {
 // codeAvoidBudget bounds how long code-frame reuse can be deferred.
 const codeAvoidBudget = 16
 
-// NewFrames returns an allocator with every pageable frame free.
-func NewFrames() *Frames {
+// NewFrames returns an allocator with every pageable frame
+// [reserved, reserved+pageable) free. The default machine's values are
+// (ReservedFrames, PageableFrames).
+func NewFrames(reserved, pageable int) *Frames {
 	f := &Frames{
-		info:    make([]frameInfo, PageableFrames),
-		buckets: make([][]uint32, NumBuckets),
+		reserved: reserved,
+		info:     make([]frameInfo, pageable),
+		buckets:  make([][]uint32, NumBuckets),
 	}
-	for i := 0; i < PageableFrames; i++ {
-		fr := FirstUserFrame + uint32(i)
+	for i := 0; i < pageable; i++ {
+		fr := uint32(reserved + i)
 		b := bucketOf(fr)
 		f.buckets[b] = append(f.buckets[b], fr)
 	}
-	f.freeCount = PageableFrames
+	f.freeCount = pageable
 	return f
 }
 
@@ -76,7 +80,7 @@ func bucketOf(frame uint32) int { return int(frame) % NumBuckets }
 // kernel touches that bucket head when allocating or freeing).
 func BucketOf(frame uint32) int { return bucketOf(frame) }
 
-func (f *Frames) idx(frame uint32) int { return int(frame) - ReservedFrames }
+func (f *Frames) idx(frame uint32) int { return int(frame) - f.reserved }
 
 // FreeCount returns the number of immediately-allocatable frames.
 func (f *Frames) FreeCount() int { return f.freeCount }

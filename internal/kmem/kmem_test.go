@@ -36,7 +36,7 @@ func TestTable3ExactSizes(t *testing.T) {
 }
 
 func TestLayoutIsDisjointAndOrdered(t *testing.T) {
-	l := NewLayout()
+	l := NewLayout(arch.Default())
 	regions := []Region{
 		l.KernelText, l.ProcTable, l.RunQueue, l.HiNdproc, l.FreePgBuck,
 		l.Dfbmap, l.Callout, l.InodeTable, l.BufHeaders, l.Pfdat,
@@ -59,7 +59,7 @@ func TestLayoutIsDisjointAndOrdered(t *testing.T) {
 }
 
 func TestLayoutAccessors(t *testing.T) {
-	l := NewLayout()
+	l := NewLayout(arch.Default())
 	if a := l.UStructAddr(0); a != l.UPages.Base {
 		t.Errorf("UStructAddr(0) = %#x", a)
 	}
@@ -87,7 +87,7 @@ func TestLayoutAccessors(t *testing.T) {
 }
 
 func TestAttribute(t *testing.T) {
-	l := NewLayout()
+	l := NewLayout(arch.Default())
 	cases := []struct {
 		addr    arch.PAddr
 		routine string
@@ -120,7 +120,7 @@ func TestAttribute(t *testing.T) {
 }
 
 func TestFramesAllocFree(t *testing.T) {
-	f := NewFrames()
+	f := NewFrames(ReservedFrames, PageableFrames)
 	if f.FreeCount() != PageableFrames {
 		t.Fatalf("FreeCount = %d, want %d", f.FreeCount(), PageableFrames)
 	}
@@ -144,7 +144,7 @@ func TestFramesAllocFree(t *testing.T) {
 }
 
 func TestCodeFrameReuseSignalsInvalidation(t *testing.T) {
-	f := NewFrames()
+	f := NewFrames(ReservedFrames, PageableFrames)
 	fr, _, _ := f.Alloc(FrameCode, 1, 0)
 	f.Free(fr)
 	// LIFO bucket reuse: allocating again from the same bucket should
@@ -173,7 +173,7 @@ func TestCodeFrameReuseSignalsInvalidation(t *testing.T) {
 }
 
 func TestExhaustionAndReclaim(t *testing.T) {
-	f := NewFrames()
+	f := NewFrames(ReservedFrames, PageableFrames)
 	var frames []uint32
 	for {
 		fr, _, ok := f.Alloc(FrameData, 1, 0)
@@ -210,7 +210,7 @@ func TestExhaustionAndReclaim(t *testing.T) {
 }
 
 func TestDoubleFreePanics(t *testing.T) {
-	f := NewFrames()
+	f := NewFrames(ReservedFrames, PageableFrames)
 	fr, _, _ := f.Alloc(FrameData, 1, 0)
 	f.Free(fr)
 	defer func() {
@@ -222,7 +222,7 @@ func TestDoubleFreePanics(t *testing.T) {
 }
 
 func TestBucketDistribution(t *testing.T) {
-	f := NewFrames()
+	f := NewFrames(ReservedFrames, PageableFrames)
 	// Allocate everything; every allocation must come from some bucket
 	// and the bucket hash must match.
 	counts := make(map[int]int)
@@ -243,7 +243,7 @@ func TestBucketDistribution(t *testing.T) {
 // the helper names — the symbol-table property the Figure 8 attribution
 // relies on.
 func TestQuickAttributeConsistency(t *testing.T) {
-	l := NewLayout()
+	l := NewLayout(arch.Default())
 	f := func(slot uint8, off uint16) bool {
 		s := int(slot) % NumProcs
 		if l.Attribute(l.KStackAddr(s)+arch.PAddr(off%KStackSize), "") != AttrKernelStack {
@@ -274,5 +274,49 @@ func TestQuickAttributeConsistency(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestLayoutScalesWithMachine checks the machine-derived layout: text is 13
+// I-cache banks, pfdat tracks the pageable-frame count, and the default
+// machine reproduces the historical constants exactly.
+func TestLayoutScalesWithMachine(t *testing.T) {
+	def := NewLayout(arch.Default())
+	if def.TextSize != KernelTextSize || def.Reserved != ReservedFrames ||
+		def.Pageable != PageableFrames || def.Pfdat.Size != PfdatSize {
+		t.Fatalf("default layout drifted: text=%d reserved=%d pageable=%d pfdat=%d",
+			def.TextSize, def.Reserved, def.Pageable, def.Pfdat.Size)
+	}
+	if def.FirstUserFrame() != FirstUserFrame {
+		t.Fatalf("default FirstUserFrame() = %d, want %d", def.FirstUserFrame(), FirstUserFrame)
+	}
+
+	big := arch.Default()
+	big.MemBytes = 64 * 1024 * 1024
+	l := NewLayout(big)
+	if l.Pageable != big.MemFrames()-l.Reserved {
+		t.Fatalf("pageable %d != frames %d - reserved %d", l.Pageable, big.MemFrames(), l.Reserved)
+	}
+	if int(l.Pfdat.Size) != l.Pageable*PfdatEntrySize {
+		t.Fatalf("pfdat %d bytes for %d pageable frames", l.Pfdat.Size, l.Pageable)
+	}
+	if int(l.KernelEnd) > l.Reserved*arch.PageSize {
+		t.Fatalf("kernel end %#x overflows reserved %d frames", l.KernelEnd, l.Reserved)
+	}
+
+	wideI := arch.Default()
+	wideI.ICacheSize = 1 << 20 // 13 MB of text: reservation must grow
+	wl := NewLayout(wideI)
+	if wl.TextSize != 13<<20 {
+		t.Fatalf("text size %d, want %d", wl.TextSize, 13<<20)
+	}
+	if wl.Reserved <= ReservedFrames {
+		t.Fatalf("reserved %d did not grow past the %d floor", wl.Reserved, ReservedFrames)
+	}
+	if int(wl.KernelEnd) > wl.Reserved*arch.PageSize {
+		t.Fatalf("kernel end %#x overflows grown reservation %d", wl.KernelEnd, wl.Reserved)
+	}
+	if wl.Pageable != wideI.MemFrames()-wl.Reserved {
+		t.Fatalf("pageable %d inconsistent with grown reservation %d", wl.Pageable, wl.Reserved)
 	}
 }

@@ -79,8 +79,10 @@ const (
 	// Pfdat: one 32-byte descriptor per pageable frame. The kernel
 	// reserves ReservedFrames frames for itself, leaving PageableFrames
 	// user frames; 6592 × 32 = 210944 bytes, the exact Table 3 size.
+	// These are the default machine's values; NewLayout computes the
+	// actual reservation from its Machine.
 	PfdatEntrySize = 32
-	ReservedFrames = 1600
+	ReservedFrames = arch.ReservedFrames
 	PageableFrames = arch.MemFrames - ReservedFrames // 6592
 	PfdatSize      = PageableFrames * PfdatEntrySize // 210944
 
@@ -219,14 +221,65 @@ type Layout struct {
 	UPages     Region // NumProcs × (ustruct page + kstack page)
 
 	// KernelEnd is the first address past all kernel structures; it
-	// must stay below ReservedFrames×PageSize.
+	// must stay below Reserved×PageSize.
 	KernelEnd arch.PAddr
+
+	// M is the machine the layout was computed for.
+	M arch.Machine
+	// TextSize is the kernel text image size (13 I-cache banks).
+	TextSize uint32
+	// Reserved is the number of frames reserved for the kernel image
+	// (ReservedFrames on the default machine, grown when a large
+	// I-cache or memory inflates the image past the default budget).
+	Reserved int
+	// Pageable is the number of user-allocatable frames:
+	// M.MemFrames() − Reserved.
+	Pageable int
 }
 
-// NewLayout computes the memory map. It panics if the kernel image
-// overflows its reserved frames (a programming error, caught by tests).
-func NewLayout() *Layout {
-	l := &Layout{}
+// NewLayout computes the memory map of machine m. The kernel-text image is
+// 13 I-cache banks (Figure 5's span) and the pfdat array holds one
+// descriptor per pageable frame — which itself depends on how many frames
+// the image reserves, so the reservation is computed by fixed point:
+// starting from the default ReservedFrames floor, the reservation grows to
+// cover the image and the (now smaller) pfdat is recomputed until stable.
+// The default machine converges immediately at ReservedFrames, keeping the
+// historical layout bit for bit. NewLayout panics when m is invalid or the
+// image leaves too little pageable memory to run (programming errors,
+// caught by tests and by Machine.Validate upstream).
+func NewLayout(m arch.Machine) *Layout {
+	if err := m.Validate(); err != nil {
+		panic("kmem: " + err.Error())
+	}
+	memFrames := m.MemFrames()
+	reserved := ReservedFrames
+	for {
+		l := layoutWith(m, reserved, memFrames-reserved)
+		need := (int(l.KernelEnd) + arch.PageSize - 1) / arch.PageSize
+		if need <= reserved {
+			return l
+		}
+		reserved = need
+		if memFrames-reserved < minPageable {
+			panic(fmt.Sprintf("kmem: kernel image reserves %d of %d frames, leaving fewer than %d pageable",
+				reserved, memFrames, minPageable))
+		}
+	}
+}
+
+// minPageable is the least user memory the kernel can meaningfully run
+// with (frame pool, prefill slack and working set).
+const minPageable = 1024
+
+// layoutWith places every region for one candidate reservation.
+func layoutWith(m arch.Machine, reserved, pageable int) *Layout {
+	l := &Layout{
+		M:        m,
+		TextSize: uint32(13 * m.ICacheSize),
+		Reserved: reserved,
+		Pageable: pageable,
+	}
+	pfdatSize := uint32(pageable * PfdatEntrySize)
 	next := arch.PAddr(0)
 	place := func(name string, size uint32, alignPage bool) Region {
 		if alignPage && next%arch.PageSize != 0 {
@@ -238,7 +291,7 @@ func NewLayout() *Layout {
 		next += arch.PAddr(size)
 		return r
 	}
-	l.KernelText = place(AttrKernelText, KernelTextSize, true)
+	l.KernelText = place(AttrKernelText, l.TextSize, true)
 	l.ProcTable = place(AttrProcTable, ProcTableSize, false)
 	l.RunQueue = place(AttrRunQueue, RunQueueSize, false)
 	l.HiNdproc = place(AttrHiNdproc, HiNdprocSize, false)
@@ -247,15 +300,11 @@ func NewLayout() *Layout {
 	l.Callout = place("Callout", CalloutSize, false)
 	l.InodeTable = place(AttrInode, InodeTableSize, false)
 	l.BufHeaders = place(AttrBuffer, BufHeadersSize, false)
-	l.Pfdat = place(AttrPfdat, PfdatSize, false)
+	l.Pfdat = place(AttrPfdat, pfdatSize, false)
 	l.KernelHeap = place("Kernel Heap", KernelHeapSize, true)
 	l.BufData = place("Buffer Data", BufDataSize, true)
 	l.UPages = place("U Pages", NumProcs*(UStructSize+KStackSize), true)
 	l.KernelEnd = next
-	if l.KernelEnd > arch.PAddr(ReservedFrames)*arch.PageSize {
-		panic(fmt.Sprintf("kmem: kernel image %#x overflows reserved %#x",
-			l.KernelEnd, ReservedFrames*arch.PageSize))
-	}
 	return l
 }
 
@@ -277,7 +326,7 @@ func (l *Layout) ProcEntryAddr(s int) arch.PAddr {
 }
 
 // PfdatAddr returns the address of the page descriptor for pageable frame
-// index i (i.e. physical frame ReservedFrames+i).
+// index i (i.e. physical frame Reserved+i).
 func (l *Layout) PfdatAddr(i int) arch.PAddr {
 	return l.Pfdat.Base + arch.PAddr(i*PfdatEntrySize)
 }
@@ -285,7 +334,7 @@ func (l *Layout) PfdatAddr(i int) arch.PAddr {
 // PfdatAddrOfFrame returns the descriptor address for a physical frame
 // number.
 func (l *Layout) PfdatAddrOfFrame(f uint32) arch.PAddr {
-	return l.PfdatAddr(int(f) - ReservedFrames)
+	return l.PfdatAddr(int(f) - l.Reserved)
 }
 
 // BucketAddr returns the address of free-page bucket i.
@@ -317,8 +366,12 @@ func (l *Layout) HeapScratch(off int) arch.PAddr {
 	return scratch + arch.PAddr(off%size)
 }
 
-// FirstUserFrame is the first pageable physical frame number.
+// FirstUserFrame is the first pageable physical frame number of the
+// default machine (use Layout.FirstUserFrame for a configured one).
 const FirstUserFrame = uint32(ReservedFrames)
+
+// FirstUserFrame returns the first pageable frame number of this layout.
+func (l *Layout) FirstUserFrame() uint32 { return uint32(l.Reserved) }
 
 // Attribute maps a physical data address to the structure name used by
 // Figure 8. routine is the name of the OS routine executing when the miss

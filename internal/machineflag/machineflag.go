@@ -1,0 +1,135 @@
+// Package machineflag is the shared CLI surface of the runtime machine
+// model: a -machine preset flag plus individual geometry override flags,
+// registered identically by all three commands (charos, lockstat, sweep).
+package machineflag
+
+import (
+	"flag"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/arch"
+)
+
+// Preset resolves a -machine preset name to its descriptor.
+func Preset(name string) (arch.Machine, error) {
+	switch strings.ToLower(name) {
+	case "", "4d340":
+		// The measured SGI 4D/340: 4×33 MHz, 64 KB I, 64 KB + 256 KB D,
+		// 32 MB memory.
+		return arch.Default(), nil
+	case "4d380":
+		// A 4D/380-like top configuration: twice the CPUs and memory of
+		// the measured machine, same cache geometry.
+		m := arch.Default()
+		m.NCPU = 8
+		m.MemBytes = 64 * 1024 * 1024
+		return m, nil
+	default:
+		return arch.Machine{}, fmt.Errorf("unknown machine preset %q (have: 4d340, 4d380)", name)
+	}
+}
+
+// ParseSize parses a byte count with an optional K/M suffix ("256K",
+// "1M", "65536").
+func ParseSize(s string) (int, error) {
+	mult := 1
+	t := strings.TrimSpace(s)
+	switch {
+	case strings.HasSuffix(t, "K"), strings.HasSuffix(t, "k"):
+		mult, t = 1<<10, t[:len(t)-1]
+	case strings.HasSuffix(t, "M"), strings.HasSuffix(t, "m"):
+		mult, t = 1<<20, t[:len(t)-1]
+	}
+	n, err := strconv.Atoi(t)
+	if err != nil {
+		return 0, fmt.Errorf("bad size %q (want bytes with optional K/M suffix)", s)
+	}
+	return n * mult, nil
+}
+
+// Flags holds the registered flag values until Machine resolves them.
+type Flags struct {
+	preset      *string
+	icache      *string
+	icacheAssoc *int
+	dl1         *string
+	dl1Assoc    *int
+	dl2         *string
+	dl2Assoc    *int
+	mem         *string
+	tlb         *int
+	missStall   *int
+	l2Stall     *int
+}
+
+// Register installs the -machine preset flag and the geometry override
+// flags on fs (use flag.CommandLine for a command's default set). Call
+// Machine after fs.Parse to resolve them.
+func Register(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	f.preset = fs.String("machine", "4d340",
+		"machine preset: 4d340 (the measured machine) or 4d380 (8 CPUs, 64 MB)")
+	f.icache = fs.String("icache", "", "override I-cache size (bytes; K/M suffix ok)")
+	f.icacheAssoc = fs.Int("icache-assoc", 0, "override I-cache associativity (0 = preset)")
+	f.dl1 = fs.String("dcache-l1", "", "override first-level D-cache size (bytes; K/M suffix ok)")
+	f.dl1Assoc = fs.Int("dcache-l1-assoc", 0, "override first-level D-cache associativity (0 = preset)")
+	f.dl2 = fs.String("dcache-l2", "", "override second-level D-cache size (bytes; K/M suffix ok)")
+	f.dl2Assoc = fs.Int("dcache-l2-assoc", 0, "override second-level D-cache associativity (0 = preset)")
+	f.mem = fs.String("mem", "", "override main-memory size (bytes; K/M suffix ok)")
+	f.tlb = fs.Int("tlb", 0, "override TLB entries per CPU (0 = preset)")
+	f.missStall = fs.Int("miss-stall", 0, "override per-bus-access stall cycles (0 = preset)")
+	f.l2Stall = fs.Int("l2hit-stall", -1, "override L1-miss/L2-hit stall cycles (-1 = preset)")
+	return f
+}
+
+// Machine resolves the preset plus overrides into a validated descriptor.
+func (f *Flags) Machine() (arch.Machine, error) {
+	m, err := Preset(*f.preset)
+	if err != nil {
+		return m, err
+	}
+	size := func(dst *int, s string) error {
+		if s == "" {
+			return nil
+		}
+		n, err := ParseSize(s)
+		if err != nil {
+			return err
+		}
+		*dst = n
+		return nil
+	}
+	if err := size(&m.ICacheSize, *f.icache); err != nil {
+		return m, err
+	}
+	if err := size(&m.DCacheL1Size, *f.dl1); err != nil {
+		return m, err
+	}
+	if err := size(&m.DCacheL2Size, *f.dl2); err != nil {
+		return m, err
+	}
+	if err := size(&m.MemBytes, *f.mem); err != nil {
+		return m, err
+	}
+	if *f.icacheAssoc > 0 {
+		m.ICacheAssoc = *f.icacheAssoc
+	}
+	if *f.dl1Assoc > 0 {
+		m.DCacheL1Assoc = *f.dl1Assoc
+	}
+	if *f.dl2Assoc > 0 {
+		m.DCacheL2Assoc = *f.dl2Assoc
+	}
+	if *f.tlb > 0 {
+		m.TLBEntries = *f.tlb
+	}
+	if *f.missStall > 0 {
+		m.MissStallCycles = arch.Cycles(*f.missStall)
+	}
+	if *f.l2Stall >= 0 {
+		m.L1MissL2HitCycles = arch.Cycles(*f.l2Stall)
+	}
+	return m, m.Validate()
+}

@@ -1,0 +1,101 @@
+package machineflag
+
+import (
+	"flag"
+	"testing"
+
+	"repro/internal/arch"
+)
+
+func TestParseSize(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int
+		bad  bool
+	}{
+		{"65536", 65536, false},
+		{"64K", 64 << 10, false},
+		{"64k", 64 << 10, false},
+		{"1M", 1 << 20, false},
+		{" 256K ", 256 << 10, false},
+		{"64KB", 0, true},
+		{"", 0, true},
+		{"big", 0, true},
+	}
+	for _, c := range cases {
+		got, err := ParseSize(c.in)
+		if c.bad {
+			if err == nil {
+				t.Errorf("ParseSize(%q) = %d, want error", c.in, got)
+			}
+			continue
+		}
+		if err != nil || got != c.want {
+			t.Errorf("ParseSize(%q) = %d, %v; want %d", c.in, got, err, c.want)
+		}
+	}
+}
+
+func resolve(t *testing.T, args ...string) (arch.Machine, error) {
+	t.Helper()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	f := Register(fs)
+	if err := fs.Parse(args); err != nil {
+		t.Fatalf("parse %v: %v", args, err)
+	}
+	return f.Machine()
+}
+
+func TestDefaultPresetIsTheMeasuredMachine(t *testing.T) {
+	m, err := resolve(t)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != arch.Default() {
+		t.Fatalf("default preset = %+v, want arch.Default()", m)
+	}
+}
+
+func TestPreset4d380(t *testing.T) {
+	m, err := resolve(t, "-machine", "4d380")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NCPU != 8 || m.MemBytes != 64<<20 {
+		t.Fatalf("4d380 = %+v, want 8 CPUs / 64 MB", m)
+	}
+	want := arch.Default()
+	want.NCPU, want.MemBytes = 8, 64<<20
+	if m != want {
+		t.Fatalf("4d380 changes more than NCPU/MemBytes: %+v", m)
+	}
+}
+
+func TestOverridesApplyOnTopOfPreset(t *testing.T) {
+	m, err := resolve(t, "-machine", "4d380",
+		"-icache", "128K", "-dcache-l2", "1M", "-dcache-l2-assoc", "2",
+		"-tlb", "128", "-miss-stall", "40", "-l2hit-stall", "0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NCPU != 8 || m.ICacheSize != 128<<10 || m.DCacheL2Size != 1<<20 ||
+		m.DCacheL2Assoc != 2 || m.TLBEntries != 128 ||
+		m.MissStallCycles != 40 || m.L1MissL2HitCycles != 0 {
+		t.Fatalf("overrides not applied: %+v", m)
+	}
+}
+
+func TestBadInputsAreRejected(t *testing.T) {
+	if _, err := resolve(t, "-machine", "4d999"); err == nil {
+		t.Error("unknown preset accepted")
+	}
+	if _, err := resolve(t, "-icache", "64KB"); err == nil {
+		t.Error("bad size suffix accepted")
+	}
+	// A syntactically fine override that produces a degenerate machine
+	// must fail Validate with the field named.
+	_, err := resolve(t, "-dcache-l2", "48K")
+	if err == nil {
+		t.Fatal("non-power-of-two cache size accepted")
+	}
+}

@@ -149,3 +149,19 @@ func splitLines(s string) []string {
 	}
 	return append(out, s[start:])
 }
+
+// TestDefaultMachineMatchesSeed is the machine-descriptor oracle: a config
+// that spells out arch.Default() explicitly must produce byte-identical
+// reports to the zero-Machine config (the historical constants path) for
+// all three workloads — proof the runtime descriptor refactor preserves
+// behavior exactly.
+func TestDefaultMachineMatchesSeed(t *testing.T) {
+	render := func(m arch.Machine) string {
+		set := RunSetParallel(core.Config{
+			Machine: m,
+			Window:  600_000, Warmup: 300_000, Seed: 11, Check: true,
+		}, runner.Options{Parallelism: 8})
+		return All(set)
+	}
+	diffLines(t, "default machine vs constants", render(arch.Machine{}), render(arch.Default()))
+}

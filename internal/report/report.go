@@ -284,7 +284,7 @@ func Figure5(s *Set) string {
 	var total int64
 	for id, n := range ch.Trace.DisposIByRoutine {
 		r := kt.ByID(id)
-		entries = append(entries, entry{r.Name, float64(r.Addr) / float64(arch.ICacheSize), n})
+		entries = append(entries, entry{r.Name, float64(r.Addr) / float64(ch.Cfg.Machine.ICacheSize), n})
 		total += n
 	}
 	sort.Slice(entries, func(i, j int) bool {

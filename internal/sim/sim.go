@@ -14,7 +14,11 @@ import (
 
 // Config tunes the simulator.
 type Config struct {
-	// NCPU is the processor count (default 4, the measured machine).
+	// Machine is the simulated hardware; the zero value means
+	// arch.Default() (the measured 4D/340). NCPU, when set, overrides
+	// Machine.NCPU — existing callers and CLI flags keep working.
+	Machine arch.Machine
+	// NCPU is the processor count (default Machine.NCPU).
 	NCPU int
 	// Seed drives all randomness.
 	Seed int64
@@ -63,8 +67,13 @@ type Config struct {
 }
 
 func (c Config) withDefaults() Config {
+	if c.Machine == (arch.Machine{}) {
+		c.Machine = arch.Default()
+	}
 	if c.NCPU == 0 {
-		c.NCPU = arch.DefaultCPUs
+		c.NCPU = c.Machine.NCPU
+	} else {
+		c.Machine.NCPU = c.NCPU
 	}
 	if c.Window == 0 {
 		c.Window = arch.DefaultWindow
@@ -78,6 +87,7 @@ func (c Config) withDefaults() Config {
 	if c.NetPeriod == 0 {
 		c.NetPeriod = 70_000 // ≈2 ms
 	}
+	c.Kernel.Machine = c.Machine
 	c.Kernel.NCPU = c.NCPU
 	c.Kernel.Seed = c.Seed
 	return c
@@ -145,11 +155,11 @@ func New(cfg Config) *Simulator {
 	if cfg.NoTrace || cfg.Streaming {
 		// Streaming mode has no trace buffer; the inline recorder is
 		// attached at trace start (Run), once warmup is over.
-		s.Bus = bus.NewSystem(cfg.NCPU, nil)
+		s.Bus = bus.NewSystem(cfg.Machine, nil)
 	} else {
 		s.Mon = monitor.New(cfg.MonitorCap)
 		s.Mon.SetEnabled(false)
-		s.Bus = bus.NewSystem(cfg.NCPU, s.Mon)
+		s.Bus = bus.NewSystem(cfg.Machine, s.Mon)
 	}
 	if cfg.UpdateProtocol {
 		s.Bus.Proto = bus.WriteUpdate
@@ -158,7 +168,7 @@ func New(cfg Config) *Simulator {
 		s.Bus.SetReference(true)
 	}
 	if cfg.Check {
-		s.Chk = check.New(s.Bus)
+		s.Chk = check.New(s.Bus, cfg.Machine.MemFrames())
 		s.Chk.FailFast = cfg.CheckFailFast
 		s.Chk.RoutineOf = func(q arch.CPUID) string { return s.CPUs[q].RoutineName() }
 		s.Bus.Check = s.Chk
@@ -178,7 +188,7 @@ func New(cfg Config) *Simulator {
 		s.CPUs[i] = &CPU{
 			id:            arch.CPUID(i),
 			sim:           s,
-			tlb:           tlb.New(),
+			tlb:           tlb.New(cfg.Machine.TLBEntries),
 			mode:          arch.ModeKernel,
 			nextClockTick: arch.ClockTickCycles + arch.Cycles(i*1000),
 		}

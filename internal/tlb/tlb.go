@@ -24,7 +24,7 @@ type Entry struct {
 // Slot assignment is untouched — the slot index is emitted in the
 // TLB-change escape, so entry order is part of the observable trace.
 type TLB struct {
-	entries [arch.TLBEntries]Entry
+	entries []Entry
 	next    int
 	index   map[uint64]int32 // (pid, vpage) → slot of each valid entry
 
@@ -34,9 +34,16 @@ type TLB struct {
 	Misses int64
 }
 
-// New returns an empty TLB.
-func New() *TLB {
-	return &TLB{index: make(map[uint64]int32, arch.TLBEntries)}
+// New returns an empty TLB with the given number of entries
+// (arch.TLBEntries on the default machine).
+func New(entries int) *TLB {
+	if entries < 1 {
+		panic("tlb: need at least one entry")
+	}
+	return &TLB{
+		entries: make([]Entry, entries),
+		index:   make(map[uint64]int32, entries),
+	}
 }
 
 func tlbKey(pid arch.PID, vpage uint32) uint64 {
@@ -63,7 +70,7 @@ func (t *TLB) Insert(pid arch.PID, vpage, frame uint32) (index int, displaced En
 		return int(i), Entry{}
 	}
 	i := t.next
-	t.next = (t.next + 1) % arch.TLBEntries
+	t.next = (t.next + 1) % len(t.entries)
 	displaced = t.entries[i]
 	if displaced.Valid {
 		delete(t.index, tlbKey(displaced.PID, displaced.VPage))

@@ -8,7 +8,7 @@ import (
 )
 
 func TestLookupMissThenHit(t *testing.T) {
-	tb := New()
+	tb := New(arch.TLBEntries)
 	if _, hit := tb.Lookup(1, 100); hit {
 		t.Fatal("empty TLB hit")
 	}
@@ -23,7 +23,7 @@ func TestLookupMissThenHit(t *testing.T) {
 }
 
 func TestPIDTagging(t *testing.T) {
-	tb := New()
+	tb := New(arch.TLBEntries)
 	tb.Insert(1, 100, 5)
 	if _, hit := tb.Lookup(2, 100); hit {
 		t.Error("entry leaked across address spaces")
@@ -37,7 +37,7 @@ func TestPIDTagging(t *testing.T) {
 }
 
 func TestInsertUpdatesInPlace(t *testing.T) {
-	tb := New()
+	tb := New(arch.TLBEntries)
 	i1, _ := tb.Insert(1, 100, 5)
 	i2, disp := tb.Insert(1, 100, 9)
 	if i1 != i2 || disp.Valid {
@@ -52,7 +52,7 @@ func TestInsertUpdatesInPlace(t *testing.T) {
 }
 
 func TestCapacityAndDisplacement(t *testing.T) {
-	tb := New()
+	tb := New(arch.TLBEntries)
 	for v := uint32(0); v < arch.TLBEntries; v++ {
 		if _, disp := tb.Insert(1, v, v); disp.Valid {
 			t.Fatalf("displacement while filling at %d", v)
@@ -71,7 +71,7 @@ func TestCapacityAndDisplacement(t *testing.T) {
 }
 
 func TestInvalidatePID(t *testing.T) {
-	tb := New()
+	tb := New(arch.TLBEntries)
 	tb.Insert(1, 10, 1)
 	tb.Insert(1, 11, 2)
 	tb.Insert(2, 10, 3)
@@ -87,7 +87,7 @@ func TestInvalidatePID(t *testing.T) {
 }
 
 func TestInvalidateFrame(t *testing.T) {
-	tb := New()
+	tb := New(arch.TLBEntries)
 	tb.Insert(1, 10, 7)
 	tb.Insert(2, 20, 7)
 	tb.Insert(1, 30, 8)
@@ -100,7 +100,7 @@ func TestInvalidateFrame(t *testing.T) {
 }
 
 func TestEntriesExposesSlots(t *testing.T) {
-	tb := New()
+	tb := New(arch.TLBEntries)
 	tb.Insert(3, 40, 9)
 	found := false
 	for _, e := range tb.Entries() {
@@ -122,7 +122,7 @@ func TestEntriesExposesSlots(t *testing.T) {
 // translation of that PID while preserving the count invariant.
 func TestQuickInsertLookupInvalidate(t *testing.T) {
 	f := func(ops []uint16) bool {
-		tb := New()
+		tb := New(arch.TLBEntries)
 		for _, op := range ops {
 			pid := arch.PID(op%5) + 1
 			vp := uint32(op % 97)

@@ -74,8 +74,6 @@ const (
 )
 
 const (
-	iSets    = arch.ICacheSize / arch.BlockSize
-	dSets    = arch.DCacheL2Size / arch.BlockSize
 	noBlock  = ^uint32(0)
 	instrDim = 0
 	dataDim  = 1
@@ -264,6 +262,12 @@ type Classifier struct {
 	layout *kmem.Layout
 	ncpu   int
 
+	// iSets/dSets are the mirror-cache line counts, derived from the
+	// layout's machine (total lines: the mirrors model the direct-mapped
+	// caches of the measured machine, set = block mod sets).
+	iSets int
+	dSets int
+
 	dec  *monitor.Decoder
 	cpus []*cpuState
 
@@ -298,15 +302,20 @@ type Classifier struct {
 	res *Result
 }
 
-// NewClassifier builds a classifier for a machine with ncpu processors.
+// NewClassifier builds a classifier for the machine the layout was
+// computed for, with ncpu processors.
 func NewClassifier(kt *kernel.KText, layout *kmem.Layout, ncpu int) *Classifier {
+	m := layout.M
+	frames := m.MemFrames()
 	c := &Classifier{
 		kt:        kt,
 		layout:    layout,
 		ncpu:      ncpu,
+		iSets:     m.ICacheSize / arch.BlockSize,
+		dSets:     m.DCacheL2Size / arch.BlockSize,
 		dec:       monitor.NewDecoder(),
-		pages:     make([]*blockPage, arch.MemFrames),
-		frameCode: make([]bool, arch.MemFrames),
+		pages:     make([]*blockPage, frames),
+		frameCode: make([]bool, frames),
 		bcopyID:   kt.R(kmem.RoutineBcopy).ID,
 		bclearID:  kt.R(kmem.RoutineBclear).ID,
 		vhandID:   kt.R(kmem.RoutineVhand).ID,
@@ -326,10 +335,10 @@ func NewClassifier(kt *kernel.KText, layout *kmem.Layout, ncpu int) *Classifier 
 		cs := &cpuState{
 			mode:     arch.ModeUser,
 			routine:  -1,
-			iMirror:  make([]uint32, iSets),
-			dMirror:  make([]uint32, dSets),
-			iFillInv: make([]uint32, iSets),
-			dFillInv: make([]uint32, dSets),
+			iMirror:  make([]uint32, c.iSets),
+			dMirror:  make([]uint32, c.dSets),
+			iFillInv: make([]uint32, c.iSets),
+			dFillInv: make([]uint32, c.dSets),
 		}
 		for j := range cs.iMirror {
 			cs.iMirror[j] = noBlock
@@ -340,7 +349,7 @@ func NewClassifier(kt *kernel.KText, layout *kmem.Layout, ncpu int) *Classifier 
 		c.cpus = append(c.cpus, cs)
 	}
 	// Kernel text frames hold code.
-	for f := uint32(0); f < uint32(kmem.KernelTextSize/arch.PageSize); f++ {
+	for f := uint32(0); f < layout.KernelText.End().Frame(); f++ {
 		c.frameCode[f] = true
 	}
 	return c
@@ -525,7 +534,7 @@ func (c *Classifier) event(rec monitor.Record) {
 		c.icacheInval(rec.Args[0])
 	case monitor.EvPageAlloc:
 		frame := rec.Args[0]
-		if frame < arch.MemFrames {
+		if int(frame) < len(c.frameCode) {
 			c.frameCode[frame] = rec.Args[1] == uint32(kmem.FrameCode)
 		}
 	case monitor.EvPageFree:
@@ -643,9 +652,9 @@ func (c *Classifier) miss(t bus.Txn) {
 	var mirror, fillInv []uint32
 	var sets int
 	if instr {
-		mirror, fillInv, sets = cs.iMirror, cs.iFillInv, iSets
+		mirror, fillInv, sets = cs.iMirror, cs.iFillInv, c.iSets
 	} else {
-		mirror, fillInv, sets = cs.dMirror, cs.dFillInv, dSets
+		mirror, fillInv, sets = cs.dMirror, cs.dFillInv, c.dSets
 	}
 	set := int(block) % sets
 	// The displacing reference is an OS reference if the CPU is inside
@@ -689,7 +698,7 @@ func (c *Classifier) miss(t bus.Txn) {
 // CPU's data mirror.
 func (c *Classifier) invalidateRemote(t bus.Txn) {
 	block := uint32(t.Addr) >> arch.BlockShift
-	set := int(block) % dSets
+	set := int(block) % c.dSets
 	for q := 0; q < c.ncpu; q++ {
 		if arch.CPUID(q) == t.CPU {
 			continue

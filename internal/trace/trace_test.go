@@ -29,8 +29,8 @@ func esc(cpu arch.CPUID, ev monitor.Event, tick uint64, args ...uint32) []bus.Tx
 }
 
 func newEnv() (*kernel.KText, *kmem.Layout) {
-	l := kmem.NewLayout()
-	return kernel.NewKText(l.KernelText.Base), l
+	l := kmem.NewLayout(arch.Default())
+	return kernel.NewKText(l.KernelText.Base, arch.Default()), l
 }
 
 // enterOS/exitOS convenience wrappers.
@@ -117,7 +117,7 @@ func TestDispapClassification(t *testing.T) {
 	// address ≡ a mod 64K within the user frame... use page-alloc to
 	// mark frame as code, then fetch the conflicting block.
 	conflictInFrame := arch.FrameAddr(frame) +
-		arch.PAddr((uint32(a)>>arch.BlockShift%iSets)<<arch.BlockShift%arch.PageSize)
+		arch.PAddr((uint32(a)>>arch.BlockShift%uint32(arch.Default().ICacheSize/arch.BlockSize))<<arch.BlockShift%arch.PageSize)
 	// conflictInFrame only matches the set if frame base ≡ 0 mod 64K.
 	// FirstUserFrame = 1600 → addr 1600*4096 = 0x640000, multiple of
 	// 64 KB ✓.

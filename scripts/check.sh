@@ -43,12 +43,21 @@ if [ "$streaming" != "$reference" ]; then
     exit 1
 fi
 
-echo "== benchmark regression gate (bench.sh compare vs BENCH_PR4.json)"
-# One quick repetition against the committed PR 4 numbers. The threshold is
+echo "== default-machine oracle (zero Machine vs explicit arch.Default reports)"
+go test -run 'TestDefaultMachineMatchesSeed' ./internal/report
+
+echo "== geometry sweep smoke (sweep -exp geometry, checker on)"
+go run ./cmd/sweep -exp geometry -window 1000000 >/dev/null
+
+echo "== recorded benchmark gate (bench.sh compare BENCH_PR4 vs BENCH_PR5)"
+scripts/bench.sh compare BENCH_PR4.json BENCH_PR5.json -threshold 50
+
+echo "== benchmark regression gate (bench.sh compare vs BENCH_PR5.json)"
+# One quick repetition against the committed PR 5 numbers. The threshold is
 # deliberately loose (noisy shared runners); tighten it for local tuning.
 gate=$(mktemp)
 trap 'rm -f "$gate"' EXIT
 scripts/bench.sh -count 1 -bench 'BenchmarkPipeline_FullCharacterization' -phase gate -out "$gate" 2>/dev/null
-scripts/bench.sh compare BENCH_PR4.json "$gate" -threshold 50
+scripts/bench.sh compare BENCH_PR5.json "$gate" -threshold 50
 
 echo "ok"
