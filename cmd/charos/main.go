@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -50,6 +51,8 @@ func run() int {
 	faultSeed := flag.Int64("fault-seed", 0, "fault-injector seed (0 derives one from -seed)")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
 		"worker-pool size for the three workload runs (1 = serial)")
+	timeout := flag.Duration("timeout", 0,
+		"wall-clock budget for the whole run (0 = none); on expiry prints the cancellation provenance and exits nonzero")
 	buffered := flag.Bool("buffered", false,
 		"use the stop-and-drain pipeline (materialize the monitor trace, classify post-run) instead of streaming classification")
 	reference := flag.Bool("reference", false,
@@ -71,6 +74,13 @@ func run() int {
 		return 2
 	}
 	defer stopProf()
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	icfg, err := inject.Preset(*injectFlag)
 	if err != nil {
@@ -112,12 +122,16 @@ func run() int {
 		// The cluster what-if study runs its own 8-CPU simulation. It
 		// reprices the materialized transaction trace, so it always runs
 		// the buffered pipeline.
-		ch := core.Run(core.Config{
+		ch, err := core.RunContext(ctx, core.Config{
 			Workload: workload.Multpgm, Machine: machine, NCPU: 8,
 			Window: arch.Cycles(*window), Seed: *seed,
 			Check: *checkFlag, Inject: injectCfg, Buffered: true,
 			Reference: *reference,
 		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
 		results := cluster.Study(ch.Sim.Mon.Trace(), ch.Sim.K.L, 8, 2)
 		fmt.Print(cluster.Render(results, "Multpgm, 4 clusters of 2"))
 		if reportViolations("section6", ch) {
@@ -157,7 +171,13 @@ func run() int {
 	if injectCfg != nil {
 		fmt.Fprintf(os.Stderr, "fault injection on: %s\n", injectCfg.Modes())
 	}
-	set := report.RunSetParallel(cfg, runner.Options{Parallelism: *parallel})
+	set, err := report.RunSetContext(ctx, cfg, runner.Options{Parallelism: *parallel})
+	if err != nil {
+		// The structured cancellation carries its provenance: canonical
+		// config hash, seed, and the simulated cycle reached.
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
 
 	if name == "all" {
 		fmt.Print(report.All(set))

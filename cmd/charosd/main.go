@@ -1,0 +1,173 @@
+// Command charosd is the experiment service: an HTTP/JSON server that
+// runs deterministic characterization jobs submitted by clients, with
+// cooperative cancellation, per-run panic isolation, a progress
+// watchdog, bounded admission (429 + Retry-After under saturation), a
+// content-addressed result cache with singleflight dedup, and a
+// SIGTERM-triggered drain that resolves every accepted job before the
+// process exits.
+//
+// Server mode:
+//
+//	charosd [-addr :8416] [-workers N] [-queue N] [-job-timeout D]
+//	        [-stall-timeout D] [-drain-policy finish|cancel]
+//	        [-drain-timeout D] [-retry-after D] [-test-hooks]
+//
+// Client mode (submit one job and wait):
+//
+//	charosd -submit [-addr host:port] [-workload Pmake] [-seed N]
+//	        [-window N] [-warmup N] [-ncpu N] [-machine 4d340|4d380]
+//	        [-check] [-timeout D] [-retries N] [-nowait] [-test-panic]
+//
+// Submission is idempotent: results are content-addressed by the
+// canonical config hash, so a client that was shed (or lost its
+// connection) simply resubmits — with capped exponential backoff and
+// jitter — and lands on the cached result if the run already happened.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	addr := flag.String("addr", ":8416", "listen address (server) or server address (with -submit)")
+	workers := flag.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 64, "admission-queue depth; beyond it submissions shed with 429")
+	retryAfter := flag.Duration("retry-after", time.Second, "Retry-After hint advertised on shed")
+	jobTimeout := flag.Duration("job-timeout", 0, "default per-job wall-clock cap (0 = none)")
+	stallTimeout := flag.Duration("stall-timeout", 10*time.Second,
+		"watchdog: kill runs whose simulated-cycle heartbeat stalls this long (<0 disables)")
+	drainPolicy := flag.String("drain-policy", "finish",
+		"SIGTERM drain policy: finish (run accepted jobs to completion) or cancel")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second,
+		"drain hard deadline; past it in-flight runs are force-canceled (still resolved)")
+	testHooks := flag.Bool("test-hooks", false, "enable test hooks (test_panic jobs) — never in production")
+
+	submit := flag.Bool("submit", false, "client mode: submit one job and print its report")
+	wl := flag.String("workload", "Pmake", "job workload: Pmake, Multpgm, Oracle, OracleStd")
+	machine := flag.String("machine", "", "job machine preset: 4d340 (default), 4d380")
+	ncpu := flag.Int("ncpu", 0, "job CPU count (0 = preset's count)")
+	seed := flag.Int64("seed", 1, "job seed")
+	window := flag.Int64("window", 0, "job traced window in cycles (0 = default)")
+	warmup := flag.Int64("warmup", 0, "job warmup in cycles (0 = default)")
+	checkFlag := flag.Bool("check", false, "run the job under the invariant checker")
+	timeout := flag.Duration("timeout", 0, "client: job + wait deadline (0 = none); sent as the job's budget")
+	retries := flag.Int("retries", 0, "client: retry budget after shed/transport errors (0 = default 8, negative = none)")
+	nowait := flag.Bool("nowait", false, "client: return after admission instead of waiting for the result")
+	testPanic := flag.Bool("test-panic", false, "client: submit a job that panics mid-run (server must run -test-hooks)")
+	flag.Parse()
+
+	if *submit {
+		return clientMain(*addr, service.Request{
+			Workload: *wl, Machine: *machine, NCPU: *ncpu, Seed: *seed,
+			Window: *window, Warmup: *warmup, Check: *checkFlag,
+			TimeoutMS: int64(*timeout / time.Millisecond), TestPanic: *testPanic,
+		}, *timeout, *retries, *nowait)
+	}
+
+	if *drainPolicy != "finish" && *drainPolicy != "cancel" {
+		fmt.Fprintf(os.Stderr, "bad -drain-policy %q (want finish or cancel)\n", *drainPolicy)
+		return 2
+	}
+	logger := log.New(os.Stderr, "charosd: ", log.LstdFlags|log.Lmicroseconds)
+	srv := service.New(service.Options{
+		Workers: *workers, QueueDepth: *queue, RetryAfter: *retryAfter,
+		JobTimeout: *jobTimeout, StallTimeout: *stallTimeout,
+		DrainFinish: *drainPolicy == "finish", DrainTimeout: *drainTimeout,
+		TestHooks: *testHooks,
+		Logf:      logger.Printf,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	logger.Printf("serving on %s (workers=%d queue=%d drain=%s/%s)",
+		ln.Addr(), *workers, *queue, *drainPolicy, *drainTimeout)
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, os.Interrupt)
+	select {
+	case got := <-sig:
+		logger.Printf("signal %v: draining", got)
+		// Keep serving status/wait requests while the drain resolves the
+		// accepted jobs, then shut the listener down gracefully.
+		srv.Drain()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		httpSrv.Shutdown(ctx)
+		logger.Printf("exit")
+		return 0
+	case err := <-serveErr:
+		if !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		return 0
+	}
+}
+
+// clientMain submits one job and renders the outcome. Exit codes: 0 job
+// done, 1 job failed/canceled (structured error printed), 2 bad usage,
+// 3 could not submit (shed/unreachable after retries).
+func clientMain(addr string, req service.Request, timeout time.Duration, retries int, nowait bool) int {
+	base := addr
+	if len(base) > 0 && base[0] == ':' {
+		base = "127.0.0.1" + base
+	}
+	cl := &service.Client{Base: "http://" + base, Retries: retries}
+	ctx := context.Background()
+	if timeout > 0 {
+		// Leave headroom over the job budget so the structured job error
+		// (provenance) reaches us rather than a raw client deadline.
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout+30*time.Second)
+		defer cancel()
+	}
+	var st service.JobStatus
+	var err error
+	if nowait {
+		st, err = cl.SubmitAsync(ctx, req)
+	} else {
+		st, err = cl.Submit(ctx, req)
+	}
+	if err != nil {
+		var remote *service.RemoteError
+		if errors.As(err, &remote) && remote.Code == http.StatusBadRequest {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "submit failed: %v\n", err)
+		return 3
+	}
+	if nowait {
+		fmt.Printf("accepted %s state=%s hash=%s\n", st.ID, st.State, st.Hash)
+		return 0
+	}
+	switch st.State {
+	case service.StateDone:
+		fmt.Print(st.Report)
+		return 0
+	default:
+		fmt.Fprintf(os.Stderr, "job %s %s (%s): %s\n", st.ID, st.State, st.ErrorKind, st.Error)
+		return 1
+	}
+}

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -37,6 +38,8 @@ func run() int {
 		"run the generic oracle paths instead of the memory-system fast path")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
 		"worker-pool size for the workload runs (1 = serial)")
+	timeout := flag.Duration("timeout", 0,
+		"wall-clock budget for the whole run (0 = none); on expiry prints the cancellation provenance and exits nonzero")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	mf := machineflag.Register(flag.CommandLine)
@@ -60,9 +63,20 @@ func run() int {
 		fmt.Fprintln(os.Stderr, err)
 		return 2
 	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	fmt.Fprintf(os.Stderr, "running all three workloads for Table 10, %s for the detail dump...\n", kind)
-	set := report.RunSetParallel(core.Config{Machine: machine, Window: arch.Cycles(*window), Seed: *seed, Check: *checkFlag, Reference: *reference},
+	set, err := report.RunSetContext(ctx, core.Config{Machine: machine, Window: arch.Cycles(*window), Seed: *seed, Check: *checkFlag, Reference: *reference},
 		runner.Options{Parallelism: *parallel})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
 	fmt.Print(report.Table10(set))
 	fmt.Print(report.Table11())
 	fmt.Print(report.Table12(set))

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -43,6 +44,8 @@ func run() int {
 		"run the generic oracle paths instead of the memory-system fast path")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
 		"worker-pool size for independent runs (1 = serial)")
+	timeout := flag.Duration("timeout", 0,
+		"wall-clock budget for the whole sweep (0 = none); on expiry prints the cancellation provenance and exits nonzero")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	mf := machineflag.Register(flag.CommandLine)
@@ -61,14 +64,25 @@ func run() int {
 	}
 	defer stopProf()
 
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	opts := runner.Options{Parallelism: *parallel}
 	switch *exp {
 	case "figure6":
-		set := report.RunSetParallel(core.Config{
+		set, err := report.RunSetContext(ctx, core.Config{
 			Machine: machine,
 			Window:  arch.Cycles(*window), Seed: *seed, CollectIResim: true,
 			Check: *checkFlag, Reference: *reference,
 		}, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
 		fmt.Print(report.Figure6(set))
 		fmt.Fprint(os.Stderr, set.Stats.Table())
 		// Report every failing workload before exiting so one sweep run
@@ -90,11 +104,15 @@ func run() int {
 			}
 			counts = append(counts, n)
 		}
-		pts, batch := report.RunFigure11Parallel(counts, arch.Cycles(*window), *seed, opts)
+		pts, batch, err := report.RunFigure11Context(ctx, counts, arch.Cycles(*window), *seed, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
 		fmt.Print(report.Figure11(pts))
 		fmt.Fprint(os.Stderr, batch.Table())
 	case "geometry":
-		return geometry(machine, arch.Cycles(*window), *seed, opts)
+		return geometry(ctx, machine, arch.Cycles(*window), *seed, opts)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		return 2
@@ -120,13 +138,17 @@ func osDMisses(ch *core.Characterization) int64 {
 // final run exercises the 4d380 preset (8 CPUs, 64 MB) end to end. The
 // invariant checker rides every full-system run; any violation fails
 // the sweep.
-func geometry(m arch.Machine, window arch.Cycles, seed int64, opts runner.Options) int {
+func geometry(ctx context.Context, m arch.Machine, window arch.Cycles, seed int64, opts runner.Options) int {
 	fmt.Fprintf(os.Stderr, "geometry sweep on %s, window %d, seed %d\n", m, window, seed)
 
-	base := core.Run(core.Config{
+	base, err := core.RunContext(ctx, core.Config{
 		Machine: m, Window: window, Seed: seed,
 		CollectDResim: true, Check: true,
 	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
 	bad := report.ReportViolations(os.Stderr, "baseline "+m.String(), base, 1)
 
 	cfgs := core.DefaultDSweepConfigs()
@@ -138,6 +160,7 @@ func geometry(m arch.Machine, window arch.Cycles, seed int64, opts runner.Option
 	type directPoint struct {
 		ch     *core.Characterization
 		misses int64
+		err    error
 	}
 	var directCfgs []cachesweep.Config
 	for _, cfg := range cfgs {
@@ -145,15 +168,28 @@ func geometry(m arch.Machine, window arch.Cycles, seed int64, opts runner.Option
 			directCfgs = append(directCfgs, cfg)
 		}
 	}
-	direct := runner.Map(len(directCfgs), opts, func(i int) directPoint {
+	direct, mapErr := runner.MapContext(ctx, len(directCfgs), opts, func(ctx context.Context, i int) directPoint {
 		m2 := m
 		m2.DCacheL2Size = directCfgs[i].Size
 		m2.DCacheL2Assoc = directCfgs[i].Assoc
-		ch := core.Run(core.Config{
+		ch, err := core.RunContext(ctx, core.Config{
 			Machine: m2, Window: window, Seed: seed, Check: true,
 		})
-		return directPoint{ch, osDMisses(ch)}
+		if err != nil {
+			return directPoint{err: err}
+		}
+		return directPoint{ch: ch, misses: osDMisses(ch)}
 	})
+	if mapErr != nil {
+		fmt.Fprintln(os.Stderr, mapErr)
+		return 1
+	}
+	for _, p := range direct {
+		if p.err != nil {
+			fmt.Fprintln(os.Stderr, p.err)
+			return 1
+		}
+	}
 	var directBase int64
 	for i, cfg := range directCfgs {
 		if cfg.Size == m.DCacheL2Size && cfg.Assoc == m.DCacheL2Assoc {
@@ -186,9 +222,13 @@ func geometry(m arch.Machine, window arch.Cycles, seed int64, opts runner.Option
 
 	// The 8-CPU / 64 MB preset, end to end with the checker on.
 	big, _ := machineflag.Preset("4d380")
-	bch := core.Run(core.Config{
+	bch, err := core.RunContext(ctx, core.Config{
 		Machine: big, Window: window, Seed: seed, Check: true,
 	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
 	bad = report.ReportViolations(os.Stderr, "preset "+big.String(), bch, 1) || bad
 	user, sys, idle := bch.TimeSplit()
 	all, osOnly, _ := bch.StallPct()

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/arch"
+	"repro/internal/workload"
+)
+
+func TestRunContextExpiredDeadline(t *testing.T) {
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	cfg := Config{Workload: workload.Pmake, Seed: 7, Window: 1_000_000}
+	ch, err := RunContext(ctx, cfg)
+	if ch != nil {
+		t.Fatal("expired context still produced a characterization")
+	}
+	if !errors.Is(err, ErrCanceled) {
+		t.Errorf("errors.Is(err, ErrCanceled) = false for %v", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("errors.Is(err, context.DeadlineExceeded) = false for %v", err)
+	}
+	var ce *CanceledError
+	if !errors.As(err, &ce) {
+		t.Fatalf("error is %T, want *CanceledError", err)
+	}
+	if ce.ConfigHash != cfg.Hash() {
+		t.Errorf("provenance hash %q != cfg hash %q", ce.ConfigHash, cfg.Hash())
+	}
+	if ce.Workload != "Pmake" || ce.Seed != 7 {
+		t.Errorf("provenance %+v lost workload/seed", ce.Provenance)
+	}
+}
+
+// TestRunContextMidRunCancel cancels a run once its simulated clock has
+// visibly advanced and checks the structured error's provenance carries
+// the abort cycle.
+func TestRunContextMidRunCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cfg := Config{Workload: workload.Pmake, Seed: 3, Window: 200_000_000, Warmup: 0}
+	ch, err := RunMonitored(ctx, cfg, func(progress func() arch.Cycles) {
+		go func() {
+			for progress() == 0 {
+				time.Sleep(100 * time.Microsecond)
+			}
+			cancel()
+		}()
+	})
+	if ch != nil {
+		t.Fatal("canceled run still produced a characterization")
+	}
+	var ce *CanceledError
+	if !errors.As(err, &ce) {
+		t.Fatalf("error is %T (%v), want *CanceledError", err, err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("cause should be context.Canceled, got %v", ce.Cause)
+	}
+	if ce.Cycle == 0 {
+		t.Error("mid-run cancel recorded no progress cycle")
+	}
+	if ce.Cycle >= cfg.Window {
+		t.Errorf("abort cycle %d not inside the %d-cycle window", ce.Cycle, cfg.Window)
+	}
+}
+
+// TestCanceledRunsLeakNoGoroutines: the ctx relay goroutine must be
+// reaped on the cancellation path, not only on completion.
+func TestCanceledRunsLeakNoGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for i := 0; i < 8; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		if _, err := RunContext(ctx, Config{Workload: workload.Multpgm, Window: 1_000_000}); err == nil {
+			t.Fatal("pre-canceled run succeeded")
+		}
+	}
+	// Give any stragglers a moment to exit before judging.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("goroutines grew from %d to %d after canceled runs", before, runtime.NumGoroutine())
+}
+
+func TestHashCanonicalization(t *testing.T) {
+	implicit := Config{Workload: workload.Pmake}
+	explicit := Config{
+		Workload: workload.Pmake,
+		Machine:  arch.Default(),
+		NCPU:     arch.DefaultCPUs,
+		Seed:     1,
+		Window:   arch.DefaultWindow,
+		Warmup:   arch.DefaultWindow / 2,
+	}
+	if implicit.Hash() != explicit.Hash() {
+		t.Error("zero-value defaults and spelled-out defaults hash differently")
+	}
+	if len(implicit.Hash()) != 64 {
+		t.Errorf("hash length %d, want 64 hex chars", len(implicit.Hash()))
+	}
+	other := implicit
+	other.Seed = 2
+	if other.Hash() == implicit.Hash() {
+		t.Error("different seeds produced the same hash")
+	}
+}

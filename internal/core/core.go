@@ -10,6 +10,12 @@
 package core
 
 import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+
 	"repro/internal/arch"
 	"repro/internal/cachesweep"
 	"repro/internal/check"
@@ -97,6 +103,67 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// Canonical returns the config with every default applied — the form the
+// simulator actually runs and the form Hash digests. Two configs that
+// canonicalize equal produce byte-identical runs.
+func (c Config) Canonical() Config { return c.withDefaults() }
+
+// Hash returns the canonical content hash of the config: a hex SHA-256
+// over every field after default resolution. Runs are deterministic, so
+// the hash content-addresses the run's entire output — it keys the
+// experiment service's result cache and tags every structured run error.
+func (c Config) Hash() string {
+	c = c.withDefaults()
+	h := sha256.New()
+	fmt.Fprintf(h, "workload=%s;machine=%+v;ncpu=%d;seed=%d;window=%d;warmup=%d;",
+		c.Workload, c.Machine, c.NCPU, c.Seed, c.Window, c.Warmup)
+	fmt.Fprintf(h, "affinity=%t;opttext=%t;blockop=%t;update=%t;notrace=%t;buffered=%t;reference=%t;iresim=%t;dresim=%t;check=%t;",
+		c.Affinity, c.OptimizedText, c.BlockOpBypass, c.UpdateProtocol, c.NoTrace,
+		c.Buffered, c.Reference, c.CollectIResim, c.CollectDResim, c.Check)
+	if c.Inject != nil {
+		fmt.Fprintf(h, "inject=%+v;", *c.Inject)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Provenance identifies a run in structured errors: which configuration
+// (by canonical content hash), which seed and workload, and how many
+// simulated cycles it reached before stopping.
+type Provenance struct {
+	ConfigHash string
+	Workload   string
+	Seed       int64
+	Cycle      arch.Cycles
+}
+
+func (p Provenance) String() string {
+	hash := p.ConfigHash
+	if len(hash) > 12 {
+		hash = hash[:12]
+	}
+	return fmt.Sprintf("%s/seed%d cfg=%s cycle=%d", p.Workload, p.Seed, hash, p.Cycle)
+}
+
+// ErrCanceled is the sentinel every cooperative cancellation matches via
+// errors.Is, whatever the trigger (context cancel, deadline, watchdog).
+var ErrCanceled = errors.New("run canceled")
+
+// CanceledError is the structured error of a run that was stopped before
+// completion. It wraps both ErrCanceled and the cancellation cause, so
+// errors.Is works against either.
+type CanceledError struct {
+	Provenance
+	// Cause is the reason: context.Canceled, context.DeadlineExceeded,
+	// or a service-level cause (watchdog stall, drain).
+	Cause error
+}
+
+func (e *CanceledError) Error() string {
+	return fmt.Sprintf("run canceled (%s): %v", e.Provenance, e.Cause)
+}
+
+func (e *CanceledError) Unwrap() []error { return []error{ErrCanceled, e.Cause} }
+
 // Characterization holds everything measured in one run.
 type Characterization struct {
 	Cfg   Config
@@ -111,7 +178,44 @@ type Characterization struct {
 
 // Run executes the full pipeline.
 func Run(cfg Config) *Characterization {
+	ch, err := RunContext(context.Background(), cfg)
+	if err != nil {
+		// Unreachable: a background context is never canceled.
+		panic(err)
+	}
+	return ch
+}
+
+// RunContext executes the full pipeline under ctx. When ctx is canceled
+// or its deadline passes, the simulation stops before its next bus
+// transaction and a *CanceledError carrying the run's provenance (config
+// hash, seed, cycle reached) is returned. Completed runs are untouched
+// by the machinery: their Characterization is byte-identical to Run's.
+func RunContext(ctx context.Context, cfg Config) (*Characterization, error) {
+	return RunMonitored(ctx, cfg, nil)
+}
+
+// RunMonitored is RunContext plus a progress probe: just before the
+// simulation starts, onStart (if non-nil) receives a function that
+// reports the simulated cycle most recently reached, safe to call from
+// other goroutines for the life of the run. Watchdogs use it as the
+// per-run heartbeat to tell slow from wedged.
+func RunMonitored(ctx context.Context, cfg Config, onStart func(progress func() arch.Cycles)) (*Characterization, error) {
 	cfg = cfg.withDefaults()
+	canceled := func(cycle arch.Cycles) *CanceledError {
+		cause := context.Cause(ctx)
+		if cause == nil {
+			cause = ErrCanceled
+		}
+		return &CanceledError{
+			Provenance: Provenance{ConfigHash: cfg.Hash(), Workload: cfg.Workload.String(),
+				Seed: cfg.Seed, Cycle: cycle},
+			Cause: cause,
+		}
+	}
+	if ctx.Err() != nil {
+		return nil, canceled(0)
+	}
 	streaming := !cfg.NoTrace && !cfg.Buffered
 	s := sim.New(sim.Config{
 		Machine:        cfg.Machine,
@@ -140,7 +244,26 @@ func Run(cfg Config) *Characterization {
 		}
 	}
 	workload.Setup(s.Kernel(), cfg.Workload)
-	s.Run()
+	if onStart != nil {
+		onStart(s.Progress)
+	}
+	if done := ctx.Done(); done != nil {
+		// Relay ctx cancellation onto the simulator's cooperative flag.
+		// The relay goroutine is reaped on every exit path, so canceled
+		// and completed runs alike leak nothing.
+		finished := make(chan struct{})
+		defer close(finished)
+		go func() {
+			select {
+			case <-done:
+				s.Cancel()
+			case <-finished:
+			}
+		}()
+	}
+	if !s.RunCancelable() {
+		return nil, canceled(s.Progress())
+	}
 	ch := &Characterization{
 		Cfg:         cfg,
 		Sim:         s,
@@ -157,7 +280,7 @@ func Run(cfg Config) *Characterization {
 		}
 		ch.Trace = cl.Finish()
 	}
-	return ch
+	return ch, nil
 }
 
 // NonIdle returns the non-idle execution cycles of the traced window

@@ -4,6 +4,7 @@
 package report
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -44,17 +45,67 @@ func RunSet(cfg core.Config) *Set {
 // RunSetParallel is RunSet with an explicit worker-pool size
 // (Parallelism 1 restores strictly serial execution).
 func RunSetParallel(cfg core.Config, opts runner.Options) *Set {
+	set, err := RunSetContext(context.Background(), cfg, opts)
+	if err != nil {
+		// A background context never cancels, so the only possible error
+		// is a run panic — re-raise it with its structured provenance
+		// after the rest of the batch has resolved.
+		panic(err)
+	}
+	return set
+}
+
+// RunSetContext is RunSetParallel under a context: cancellation or
+// deadline expiry stops the in-flight runs before their next bus
+// transaction and returns the first run's structured error (a
+// *core.CanceledError or *runner.PanicError) instead of a Set.
+func RunSetContext(ctx context.Context, cfg core.Config, opts runner.Options) (*Set, error) {
 	kinds := []workload.Kind{workload.Pmake, workload.Multpgm, workload.Oracle}
 	cfgs := make([]core.Config, len(kinds))
 	for i, k := range kinds {
 		cfgs[i] = cfg
 		cfgs[i].Workload = k
 	}
-	res, batch := runner.Experiments(cfgs, opts)
+	res, batch := runner.ExperimentsContext(ctx, cfgs, opts)
+	for _, r := range res {
+		if r.Err != nil {
+			return nil, r.Err
+		}
+	}
 	return &Set{
 		Pmake: res[0].Ch, Multpgm: res[1].Ch, Oracle: res[2].Ch,
 		Stats: batch, Parallelism: opts.Parallelism,
+	}, nil
+}
+
+// Single renders one run as a compact deterministic report: the header
+// identifies the run by workload, geometry, seed and canonical config
+// hash; the body carries the headline Table 1 quantities and kernel
+// counters. Reruns of the same config produce byte-identical output —
+// the experiment service's result cache and the robustness oracle tests
+// (canceled-then-rerun, service-vs-serial) rely on exactly that.
+func Single(ch *core.Characterization) string {
+	var b strings.Builder
+	cfg := ch.Cfg
+	fmt.Fprintf(&b, "run %s ncpu=%d seed=%d window=%d warmup=%d\n",
+		cfg.Workload, cfg.NCPU, cfg.Seed, cfg.Window, cfg.Warmup)
+	fmt.Fprintf(&b, "config %s\n", cfg.Hash())
+	user, sys, idle := ch.TimeSplit()
+	fmt.Fprintf(&b, "time split: user %.2f%% sys %.2f%% idle %.2f%%\n", user, sys, idle)
+	if ch.Trace != nil {
+		all, osOnly, osInd := ch.StallPct()
+		fmt.Fprintf(&b, "os miss share: %.2f%%\n", ch.OSMissShare())
+		fmt.Fprintf(&b, "memory stalls: all %.2f%% os %.2f%% os+induced %.2f%%\n", all, osOnly, osInd)
+		fmt.Fprintf(&b, "bus misses: %d (os %d)\n", ch.Trace.Total, ch.Trace.OSMissTotal)
 	}
+	cur, rmw := ch.SyncStallPct()
+	fmt.Fprintf(&b, "sync stalls: current %.2f%% rmw-cached %.2f%%\n", cur, rmw)
+	fmt.Fprintf(&b, "kernel ops: ctxswitch=%d migrations=%d spawns=%d exits=%d disk=%d\n",
+		ch.Ops.CtxSwitches, ch.Ops.Migrations, ch.Ops.Spawns, ch.Ops.Exits, ch.Ops.DiskRequests)
+	if len(ch.CheckErrors) > 0 {
+		fmt.Fprintf(&b, "invariant violations: %d\n", len(ch.CheckErrors))
+	}
+	return b.String()
 }
 
 // ReportViolations writes a run's invariant violations to w and reports
@@ -724,6 +775,17 @@ func RunFigure11(cpuCounts []int, window arch.Cycles, seed int64) []Figure11Poin
 // sweep.
 func RunFigure11Parallel(cpuCounts []int, window arch.Cycles, seed int64,
 	opts runner.Options) ([]Figure11Point, metrics.BatchStats) {
+	pts, batch, err := RunFigure11Context(context.Background(), cpuCounts, window, seed, opts)
+	if err != nil {
+		panic(err) // only a run panic can surface under a background ctx
+	}
+	return pts, batch
+}
+
+// RunFigure11Context is RunFigure11Parallel under a context; a canceled
+// or expired ctx returns the first run's structured error.
+func RunFigure11Context(ctx context.Context, cpuCounts []int, window arch.Cycles, seed int64,
+	opts runner.Options) ([]Figure11Point, metrics.BatchStats, error) {
 	window = figure11Window(window)
 	cfgs := make([]core.Config, len(cpuCounts))
 	for i, n := range cpuCounts {
@@ -732,7 +794,12 @@ func RunFigure11Parallel(cpuCounts []int, window arch.Cycles, seed int64,
 			Window: window, NoTrace: true,
 		}
 	}
-	res, batch := runner.Experiments(cfgs, opts)
+	res, batch := runner.ExperimentsContext(ctx, cfgs, opts)
+	for _, r := range res {
+		if r.Err != nil {
+			return nil, batch, r.Err
+		}
+	}
 	var out []Figure11Point
 	for i, r := range res {
 		n, ch := cpuCounts[i], r.Ch
@@ -757,7 +824,7 @@ func RunFigure11Parallel(cpuCounts []int, window arch.Cycles, seed int64,
 		out = append(out, Figure11Point{NCPU: n, Lock: "mp3d user locks",
 			FailedPerMS: float64(fails) / wallMS, AcquiresPerMS: float64(acqs) / wallMS})
 	}
-	return out, batch
+	return out, batch, nil
 }
 
 // Figure11 renders the contention sweep.

@@ -1,0 +1,80 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+func TestRunOnePanicIsolation(t *testing.T) {
+	cfg := core.Config{Workload: workload.Pmake, Window: 400_000, Warmup: 200_000, Seed: 5}
+	res := RunOne(context.Background(), cfg, func() { panic("boom") })
+	if res.Ch != nil {
+		t.Fatal("panicked run still produced a characterization")
+	}
+	var pe *PanicError
+	if !errors.As(res.Err, &pe) {
+		t.Fatalf("error is %T (%v), want *PanicError", res.Err, res.Err)
+	}
+	if pe.Value != "boom" {
+		t.Errorf("panic value %v, want boom", pe.Value)
+	}
+	if len(pe.Stack) == 0 {
+		t.Error("no stack captured")
+	}
+	if pe.ConfigHash != cfg.Hash() {
+		t.Errorf("provenance hash %q != cfg hash %q", pe.ConfigHash, cfg.Hash())
+	}
+	if !strings.Contains(pe.Error(), "Pmake") {
+		t.Errorf("error %q does not name the workload", pe.Error())
+	}
+}
+
+// TestExperimentsPanicIsolationOrderPreserved: one config whose pipeline
+// panics (invalid cache geometry) must surface as that run's Result.Err
+// while the rest of the batch completes in submission order.
+func TestExperimentsPanicIsolationOrderPreserved(t *testing.T) {
+	badMachine := arch.Default()
+	badMachine.DCacheL2Size = 3000 // not a power-of-two set count: cache.New panics
+	cfgs := []core.Config{
+		{Workload: workload.Pmake, Window: 400_000, Warmup: 200_000, Seed: 5},
+		{Workload: workload.Pmake, Machine: badMachine, Window: 400_000, Warmup: 200_000, Seed: 5},
+		{Workload: workload.Multpgm, Window: 400_000, Warmup: 200_000, Seed: 6},
+	}
+	res, _ := Experiments(cfgs, Options{Parallelism: 3})
+	if len(res) != 3 {
+		t.Fatalf("got %d results, want 3", len(res))
+	}
+	var pe *PanicError
+	if !errors.As(res[1].Err, &pe) {
+		t.Fatalf("bad config's error is %T (%v), want *PanicError", res[1].Err, res[1].Err)
+	}
+	for _, i := range []int{0, 2} {
+		if res[i].Err != nil {
+			t.Fatalf("healthy run %d failed: %v", i, res[i].Err)
+		}
+		if res[i].Ch == nil || res[i].Ch.Cfg.Workload != cfgs[i].Workload {
+			t.Fatalf("slot %d does not hold its own run (order not preserved)", i)
+		}
+	}
+}
+
+func TestExperimentsContextPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfgs := smallCfgs()
+	res, _ := ExperimentsContext(ctx, cfgs, Options{Parallelism: 2})
+	for i, r := range res {
+		if r.Ch != nil {
+			t.Errorf("run %d completed under a canceled context", i)
+		}
+		if !errors.Is(r.Err, core.ErrCanceled) {
+			t.Errorf("run %d error %v does not match core.ErrCanceled", i, r.Err)
+		}
+	}
+}

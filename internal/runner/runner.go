@@ -15,11 +15,14 @@
 package runner
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"time"
 
+	"repro/internal/arch"
 	"repro/internal/core"
 	"repro/internal/metrics"
 )
@@ -60,6 +63,54 @@ func DeriveSeed(base int64, i int) int64 {
 		return 1 // seed 0 means "default" to the simulator
 	}
 	return s
+}
+
+// PanicError is the structured error of a run whose pipeline panicked:
+// the panic value, the goroutine stack at the point of the panic, and
+// the run's provenance (config hash, seed, cycle reached). RunOne and
+// ExperimentsContext convert panics into PanicErrors so one broken
+// configuration cannot take down a batch or a worker pool.
+type PanicError struct {
+	core.Provenance
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack trace.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("run panicked (%s): %v", e.Provenance, e.Value)
+}
+
+// ForEachContext is ForEach with cooperative cancellation: indexes not
+// yet started when ctx is canceled are skipped (fn never sees them), and
+// the skip is reported through the returned error — nil only if every
+// index ran. fn receives ctx to thread into context-aware work.
+func ForEachContext(ctx context.Context, n int, opts Options, fn func(ctx context.Context, i int)) error {
+	var skipped int64
+	var mu sync.Mutex
+	ForEach(n, opts, func(i int) {
+		if ctx.Err() != nil {
+			mu.Lock()
+			skipped++
+			mu.Unlock()
+			return
+		}
+		fn(ctx, i)
+	})
+	if skipped > 0 {
+		return fmt.Errorf("runner: %d of %d jobs not started: %w", skipped, n, context.Cause(ctx))
+	}
+	return nil
+}
+
+// MapContext fans fn across the pool under ctx. Slots whose index was
+// skipped because ctx was canceled hold T's zero value, and the skip is
+// reported through the error.
+func MapContext[T any](ctx context.Context, n int, opts Options, fn func(ctx context.Context, i int) T) ([]T, error) {
+	out := make([]T, n)
+	err := ForEachContext(ctx, n, opts, func(ctx context.Context, i int) { out[i] = fn(ctx, i) })
+	return out, err
 }
 
 // ForEach runs fn(0..n-1) on a bounded worker pool and returns when all
@@ -103,6 +154,66 @@ func Map[T any](n int, opts Options, fn func(i int) T) []T {
 type Result struct {
 	Ch    *core.Characterization
 	Stats metrics.RunStats
+	// Err is non-nil when the run did not complete: a
+	// *core.CanceledError (context cancel, deadline, watchdog kill) or a
+	// *PanicError (the pipeline panicked; the pool survives). Ch is nil
+	// exactly when Err is non-nil.
+	Err error
+}
+
+// RunOne executes one config through core.RunContext with panic
+// isolation: a panic anywhere in the pipeline comes back as a
+// *PanicError in Result.Err instead of unwinding into the caller. The
+// optional preRun hooks fire inside the recovery scope before the
+// simulation starts — the service's test hooks use them to force
+// failures down the production error path.
+func RunOne(ctx context.Context, cfg core.Config, preRun ...func()) Result {
+	return RunOneMonitored(ctx, cfg, nil, preRun...)
+}
+
+// RunOneMonitored is RunOne plus core.RunMonitored's progress probe:
+// onStart (if non-nil) receives the run's simulated-cycle heartbeat
+// function just before simulation begins — the service watchdog feeds
+// on it.
+func RunOneMonitored(ctx context.Context, cfg core.Config, onStart func(progress func() arch.Cycles), preRun ...func()) (res Result) {
+	canonical := cfg.Canonical()
+	var progress func() arch.Cycles
+	t0 := time.Now()
+	defer func() {
+		if r := recover(); r != nil {
+			var cycle arch.Cycles
+			if progress != nil {
+				cycle = progress()
+			}
+			res = Result{
+				Err: &PanicError{
+					Provenance: core.Provenance{ConfigHash: canonical.Hash(),
+						Workload: canonical.Workload.String(), Seed: canonical.Seed, Cycle: cycle},
+					Value: r,
+					Stack: debug.Stack(),
+				},
+				Stats: metrics.RunStats{Label: runLabel(canonical), Wall: time.Since(t0)},
+			}
+		}
+	}()
+	for _, f := range preRun {
+		f()
+	}
+	ch, err := core.RunMonitored(ctx, cfg, func(p func() arch.Cycles) {
+		progress = p
+		if onStart != nil {
+			onStart(p)
+		}
+	})
+	st := metrics.RunStats{Label: runLabel(canonical), Wall: time.Since(t0)}
+	if err != nil {
+		return Result{Err: err, Stats: st}
+	}
+	// ch.Cfg has defaults applied; warmup cycles are simulated (and paid
+	// for) too.
+	st.SimCycles = int64(ch.Cfg.Window+ch.Cfg.Warmup) * int64(ch.Cfg.NCPU)
+	st.Throughput()
+	return Result{Ch: ch, Stats: st}
 }
 
 // Experiments runs each config through core.Run on the pool. Results are
@@ -111,7 +222,18 @@ type Result struct {
 // stats carry per-run wall-clock and simulated-cycle throughput plus
 // process-wide allocation deltas; per-run allocation counts are exact
 // only for serial batches (Go accounts heap allocation process-wide).
+// A panicking config surfaces as that run's Result.Err; the rest of the
+// batch completes normally.
 func Experiments(cfgs []core.Config, opts Options) ([]Result, metrics.BatchStats) {
+	return ExperimentsContext(context.Background(), cfgs, opts)
+}
+
+// ExperimentsContext is Experiments under a context: a canceled or
+// expired ctx stops every in-flight run before its next bus transaction
+// and resolves the remaining slots with *core.CanceledError — every
+// submitted config gets a terminal Result either way, in submission
+// order.
+func ExperimentsContext(ctx context.Context, cfgs []core.Config, opts Options) ([]Result, metrics.BatchStats) {
 	n := len(cfgs)
 	w := opts.workers(n)
 	serial := w == 1
@@ -124,23 +246,13 @@ func Experiments(cfgs []core.Config, opts Options) ([]Result, metrics.BatchStats
 		if serial {
 			runtime.ReadMemStats(&m0)
 		}
-		t0 := time.Now()
-		ch := core.Run(cfgs[i])
-		st := metrics.RunStats{
-			Label: runLabel(ch.Cfg),
-			Wall:  time.Since(t0),
-			// ch.Cfg has defaults applied; warmup cycles are simulated
-			// (and paid for) too.
-			SimCycles: int64(ch.Cfg.Window+ch.Cfg.Warmup) * int64(ch.Cfg.NCPU),
-		}
-		st.Throughput()
-		if serial {
+		out[i] = RunOne(ctx, cfgs[i])
+		if serial && out[i].Err == nil {
 			var m1 runtime.MemStats
 			runtime.ReadMemStats(&m1)
-			st.Allocs = m1.Mallocs - m0.Mallocs
-			st.AllocBytes = m1.TotalAlloc - m0.TotalAlloc
+			out[i].Stats.Allocs = m1.Mallocs - m0.Mallocs
+			out[i].Stats.AllocBytes = m1.TotalAlloc - m0.TotalAlloc
 		}
-		out[i] = Result{Ch: ch, Stats: st}
 	})
 	batch := metrics.BatchStats{Parallelism: w, Wall: time.Since(start)}
 	var after runtime.MemStats

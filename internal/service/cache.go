@@ -1,0 +1,114 @@
+package service
+
+import "sync"
+
+// Outcome is the terminal state of an executed run, as stored in the
+// cache and delivered to every job that asked for the same config.
+type Outcome struct {
+	// Report is the deterministic report.Single rendering (success only).
+	Report string
+	// Err is the structured run error (*core.CanceledError or
+	// *runner.PanicError), nil on success.
+	Err error
+	// Cycle is the simulated cycle reached (the full window on success,
+	// the abort point otherwise).
+	Cycle int64
+}
+
+// Cache is the content-addressed result store: runs are deterministic,
+// so a completed outcome is fully determined by the canonical config
+// hash. It doubles as the singleflight table — concurrent submissions of
+// the same hash share one execution, with followers waiting on the
+// leader's entry instead of occupying queue slots.
+type Cache struct {
+	mu      sync.Mutex
+	entries map[string]*cacheEntry
+	// Hits counts servings that required no new execution (completed
+	// entries and singleflight followers alike).
+	hits int64
+}
+
+type cacheEntry struct {
+	done     chan struct{} // closed when outcome is set
+	outcome  Outcome
+	inflight bool
+}
+
+// NewCache returns an empty cache.
+func NewCache() *Cache {
+	return &Cache{entries: make(map[string]*cacheEntry)}
+}
+
+// Begin claims hash for execution. The first caller per hash becomes the
+// leader (leader=true) and must call Complete exactly once; every other
+// caller gets the same entry to Wait on. Completed entries stay resident,
+// so a re-submission of a finished config is a pure cache hit.
+func (c *Cache) Begin(hash string) (e *cacheEntry, leader bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[hash]; ok {
+		c.hits++
+		return e, false
+	}
+	e = &cacheEntry{done: make(chan struct{}), inflight: true}
+	c.entries[hash] = e
+	return e, true
+}
+
+// Abandon releases a leader's claim without executing (the job was shed
+// at admission). Followers that attached in the meantime keep waiting on
+// the entry only if it is re-claimed; to keep the invariant simple the
+// entry is resolved as the given outcome instead.
+func (c *Cache) Abandon(hash string, e *cacheEntry, out Outcome) {
+	c.mu.Lock()
+	delete(c.entries, hash)
+	c.mu.Unlock()
+	e.outcome = out
+	e.inflight = false
+	close(e.done)
+}
+
+// Complete resolves the leader's entry. Successful and panicked outcomes
+// are deterministic, so they stay cached; canceled outcomes depend on
+// wall-clock timing, so the entry is evicted — current waiters still get
+// the outcome, but a later resubmission re-runs.
+func (c *Cache) Complete(hash string, e *cacheEntry, out Outcome) {
+	c.mu.Lock()
+	if out.Err != nil && out.Report == "" && !deterministicErr(out.Err) {
+		delete(c.entries, hash)
+	}
+	c.mu.Unlock()
+	e.outcome = out
+	e.inflight = false
+	close(e.done)
+}
+
+// Wait blocks until the entry resolves and returns its outcome.
+func (e *cacheEntry) Wait() Outcome {
+	<-e.done
+	return e.outcome
+}
+
+// Resolved reports whether the entry already holds an outcome.
+func (e *cacheEntry) Resolved() bool {
+	select {
+	case <-e.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Hits returns how many submissions were served without a new execution.
+func (c *Cache) Hits() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits
+}
+
+// Len returns the number of resident entries (in-flight included).
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

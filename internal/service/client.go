@@ -1,0 +1,195 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Client talks to a charosd server. Submission is idempotent by
+// construction — the server content-addresses results by the canonical
+// config hash — so the client retries shed (429), draining (503) and
+// transport errors freely with capped exponential backoff plus jitter,
+// honoring the server's Retry-After hint when one is given.
+type Client struct {
+	// Base is the server root, e.g. "http://127.0.0.1:8416".
+	Base string
+	// HTTP is the transport (default http.DefaultClient).
+	HTTP *http.Client
+	// Retries is how many times a retryable submission is re-attempted
+	// after the first try (default 8).
+	Retries int
+	// BaseDelay and MaxDelay bound the backoff: attempt n sleeps
+	// BaseDelay<<n, capped at MaxDelay, with the upper half jittered
+	// (defaults 100ms and 5s).
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+
+	jitterMu sync.Mutex
+	jitter   *rand.Rand
+}
+
+// RemoteError is a non-retryable server response (bad request, job
+// failure reported in-band is NOT an error — see JobStatus).
+type RemoteError struct {
+	Code int
+	Msg  string
+}
+
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("server: %d %s", e.Code, e.Msg)
+}
+
+func (c *Client) retries() int {
+	if c.Retries < 0 {
+		return 0
+	}
+	if c.Retries == 0 {
+		return 8
+	}
+	return c.Retries
+}
+
+// backoff returns the sleep before re-attempt n (0-based), honoring a
+// Retry-After hint as the floor when given.
+func (c *Client) backoff(n int, retryAfter time.Duration) time.Duration {
+	base := c.BaseDelay
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	max := c.MaxDelay
+	if max <= 0 {
+		max = 5 * time.Second
+	}
+	d := base << uint(n)
+	if d > max || d <= 0 {
+		d = max
+	}
+	// Decorrelate the fleet: keep the lower half, jitter the upper half.
+	c.jitterMu.Lock()
+	if c.jitter == nil {
+		c.jitter = rand.New(rand.NewSource(time.Now().UnixNano()))
+	}
+	d = d/2 + time.Duration(c.jitter.Int63n(int64(d/2)+1))
+	c.jitterMu.Unlock()
+	if retryAfter > d {
+		d = retryAfter
+	}
+	return d
+}
+
+// Submit posts the request with wait=1 and returns the job's terminal
+// status. Shed (429), draining (503) and transport failures are retried
+// with backoff until ctx expires or the retry budget runs out; a job
+// that ran but failed comes back with a terminal JobStatus (State
+// "failed"/"canceled") and a nil error — inspect State/ErrorKind.
+func (c *Client) Submit(ctx context.Context, req Request) (JobStatus, error) {
+	return c.submit(ctx, req, true)
+}
+
+// SubmitAsync posts the request without waiting and returns the accepted
+// job's status (State "queued" or "running"). Same retry semantics as
+// Submit.
+func (c *Client) SubmitAsync(ctx context.Context, req Request) (JobStatus, error) {
+	return c.submit(ctx, req, false)
+}
+
+func (c *Client) submit(ctx context.Context, req Request, wait bool) (JobStatus, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	url := c.Base + "/v1/jobs"
+	if wait {
+		url += "?wait=1"
+	}
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		st, retryAfter, err := c.post(ctx, url, body)
+		if err == nil {
+			return st, nil
+		}
+		lastErr = err
+		var remote *RemoteError
+		if errors.As(err, &remote) &&
+			remote.Code != http.StatusTooManyRequests &&
+			remote.Code != http.StatusServiceUnavailable {
+			return JobStatus{}, err // not retryable (e.g. 400)
+		}
+		if attempt >= c.retries() {
+			return JobStatus{}, fmt.Errorf("gave up after %d attempts: %w", attempt+1, lastErr)
+		}
+		select {
+		case <-time.After(c.backoff(attempt, retryAfter)):
+		case <-ctx.Done():
+			return JobStatus{}, context.Cause(ctx)
+		}
+	}
+}
+
+// Wait blocks until the job is terminal and returns its status.
+func (c *Client) Wait(ctx context.Context, id string) (JobStatus, error) {
+	st, _, err := c.get(ctx, c.Base+"/v1/jobs/"+id+"?wait=1")
+	return st, err
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) post(ctx context.Context, url string, body []byte) (JobStatus, time.Duration, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return JobStatus{}, 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return c.do(req)
+}
+
+func (c *Client) get(ctx context.Context, url string) (JobStatus, time.Duration, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return JobStatus{}, 0, err
+	}
+	return c.do(req)
+}
+
+func (c *Client) do(req *http.Request) (JobStatus, time.Duration, error) {
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return JobStatus{}, 0, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return JobStatus{}, 0, err
+	}
+	if resp.StatusCode >= 400 {
+		var eb errorBody
+		msg := string(raw)
+		if json.Unmarshal(raw, &eb) == nil && eb.Error != "" {
+			msg = eb.Error
+		}
+		var retryAfter time.Duration
+		if sec, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil {
+			retryAfter = time.Duration(sec) * time.Second
+		}
+		return JobStatus{}, retryAfter, &RemoteError{Code: resp.StatusCode, Msg: msg}
+	}
+	var st JobStatus
+	if err := json.Unmarshal(raw, &st); err != nil {
+		return JobStatus{}, 0, fmt.Errorf("bad server response: %w", err)
+	}
+	return st, 0, nil
+}

@@ -1,0 +1,90 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/bus"
+	"repro/internal/kernel"
+)
+
+// cancelProbe is a streaming recorder that raises the cooperative
+// cancellation flag at the stopAt-th transaction and counts everything
+// recorded after that.
+type cancelProbe struct {
+	s      *Simulator
+	stopAt int
+	total  int
+	after  int
+}
+
+func (p *cancelProbe) Record(t bus.Txn) {
+	p.total++
+	if p.total == p.stopAt {
+		p.s.Cancel()
+	}
+	if p.total > p.stopAt {
+		p.after++
+	}
+}
+
+func spawnMix(s *Simulator, n int) {
+	for i := 0; i < n; i++ {
+		s.K.CreateProc(&kernel.ProcSpec{
+			Name:      "mix",
+			Image:     s.K.NewImage("mix", 8),
+			DataPages: 8,
+			Behavior: &loopBehavior{compute: 10_000,
+				req:   kernel.SyscallReq{Kind: kernel.SysWrite},
+				inode: i},
+		})
+	}
+}
+
+// TestCancelStopsWithinOneTransaction pins the cancellation granularity:
+// once the flag is up, the simulator may finish the bus transaction in
+// flight but must not issue further ones — every transaction-issuing
+// site polls the flag first.
+func TestCancelStopsWithinOneTransaction(t *testing.T) {
+	s := smallSim(t, Config{Streaming: true, Window: 5_000_000})
+	probe := &cancelProbe{s: s, stopAt: 500}
+	s.Stream = probe
+	spawnMix(s, 4)
+	if s.RunCancelable() {
+		t.Fatal("canceled run reported completion")
+	}
+	if !s.Canceled() {
+		t.Error("cancellation flag not observed")
+	}
+	if probe.total < probe.stopAt {
+		t.Fatalf("run stopped after only %d transactions, before the cancel point", probe.total)
+	}
+	// The transaction that tripped the flag may have a paired companion
+	// (e.g. a writeback plus its fill) already committed to the bus; no
+	// transaction beyond that pair may appear.
+	if probe.after > 1 {
+		t.Errorf("%d transactions issued after cancellation; want at most 1", probe.after)
+	}
+	if s.Progress() == 0 {
+		t.Error("no progress cycle recorded at the abort point")
+	}
+}
+
+// TestRunCancelableUncanceledMatchesRun: the cancellation machinery must
+// not perturb a run that is never canceled.
+func TestRunCancelableUncanceledMatchesRun(t *testing.T) {
+	run := func(cancelable bool) int64 {
+		s := smallSim(t, Config{Window: 1_000_000, Warmup: 200_000})
+		spawnMix(s, 3)
+		if cancelable {
+			if !s.RunCancelable() {
+				t.Fatal("uncanceled run did not complete")
+			}
+		} else {
+			s.Run()
+		}
+		return s.Bus.Stats.Transactions()
+	}
+	if a, b := run(true), run(false); a != b {
+		t.Errorf("RunCancelable (%d txns) diverged from Run (%d txns)", a, b)
+	}
+}

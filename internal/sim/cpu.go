@@ -111,6 +111,7 @@ func (c *CPU) execQuiet(r *kernel.Routine) { c.fetchRoutine(r) }
 func (c *CPU) fetchRoutine(r *kernel.Routine) {
 	blocks := r.Blocks()
 	for i := 0; i < blocks; i++ {
+		c.sim.pollCancel(c)
 		out := c.sim.Bus.Fetch(c.id, r.Addr+arch.PAddr(i*arch.BlockSize), c.now)
 		c.adv(arch.InstrPerBlock) // one cycle per instruction
 		if out.Stall > 0 {
@@ -134,6 +135,7 @@ func (c *CPU) data(a arch.PAddr, n int, write bool) {
 
 // dataRef issues one block-granular data reference and charges its time.
 func (c *CPU) dataRef(a arch.PAddr, write bool) {
+	c.sim.pollCancel(c)
 	var o bus.Outcome
 	if write {
 		o = c.sim.Bus.Write(c.id, a, c.now)
@@ -163,6 +165,7 @@ func (c *CPU) bypass(a arch.PAddr, n int, write bool) {
 	end := a + arch.PAddr(n)
 	burst := arch.PAddr(bypassBurstBlocks * arch.BlockSize)
 	for b := a.Block(); b < end; b += burst {
+		c.sim.pollCancel(c)
 		blocks := int((end - b + arch.BlockSize - 1) / arch.BlockSize)
 		if blocks > bypassBurstBlocks {
 			blocks = bypassBurstBlocks
@@ -176,6 +179,7 @@ func (c *CPU) bypass(a arch.PAddr, n int, write bool) {
 // UncachedRead models a device-register access: a real, stalling uncached
 // bus transaction.
 func (c *CPU) UncachedRead(a arch.PAddr) {
+	c.sim.pollCancel(c)
 	out := c.sim.Bus.Uncached(c.id, a&^1, c.now, false)
 	c.adv(1)
 	c.advStall(out.Stall)
@@ -229,8 +233,10 @@ func (c *CPU) Escape(ev monitor.Event, args ...uint32) {
 	if !c.sim.traceEscapes {
 		return
 	}
+	c.sim.pollCancel(c)
 	c.sim.Bus.Uncached(c.id, monitor.EventAddr(ev), c.now, true)
 	for _, v := range args {
+		c.sim.pollCancel(c)
 		c.sim.Bus.Uncached(c.id, monitor.OperandAddr(v), c.now, true)
 	}
 }

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"math"
+	"sync/atomic"
 
 	"repro/internal/arch"
 	"repro/internal/bus"
@@ -122,6 +123,18 @@ type Simulator struct {
 	end          arch.Cycles
 	nextNet      arch.Cycles
 
+	// cancel is the cooperative cancellation flag. Cancel (any goroutine)
+	// sets it; the CPUs poll it before every bus transaction they issue,
+	// so a canceled run unwinds before the next transaction starts. The
+	// flag is never set on an ordinary run, so the uncanceled step
+	// sequence — and therefore every report — is byte-identical to a
+	// build without it.
+	cancel atomic.Bool
+	// cycle is the simulated-cycle heartbeat: the clock of the most
+	// recently stepped CPU, stored every step so watchdogs on other
+	// goroutines can tell a slow run from a wedged one.
+	cycle atomic.Int64
+
 	// Cached routine pointers for the per-step hot paths (resolved once
 	// at construction, avoiding the KText name-map lookup per call).
 	rIdleLoop    *kernel.Routine
@@ -207,6 +220,53 @@ func (s *Simulator) CheckErrors() []*check.CheckError {
 		return nil
 	}
 	return s.Chk.Errors()
+}
+
+// canceledSignal unwinds a canceled run out of arbitrarily deep kernel
+// call stacks; RunCancelable recovers it. The simulator is abandoned
+// mid-flight afterwards — only Progress (for provenance) remains
+// meaningful.
+type canceledSignal struct{}
+
+// Cancel requests cooperative termination. Safe to call from any
+// goroutine, any number of times; the run's CPUs observe the flag before
+// issuing their next bus transaction and unwind out of RunCancelable.
+func (s *Simulator) Cancel() { s.cancel.Store(true) }
+
+// Canceled reports whether Cancel has been called.
+func (s *Simulator) Canceled() bool { return s.cancel.Load() }
+
+// Progress returns the simulated cycle most recently reached — the
+// per-run heartbeat. Safe to call concurrently with a running simulation;
+// it only ever moves forward (modulo per-CPU clock skew bounded by
+// userBurst).
+func (s *Simulator) Progress() arch.Cycles { return arch.Cycles(s.cycle.Load()) }
+
+// pollCancel is the per-transaction cancellation check: every CPU calls
+// it immediately before issuing a bus transaction, so once the flag is
+// set no further transaction starts.
+func (s *Simulator) pollCancel(c *CPU) {
+	if s.cancel.Load() {
+		s.cycle.Store(int64(c.now))
+		panic(canceledSignal{})
+	}
+}
+
+// RunCancelable executes Run but allows a concurrent Cancel to stop it
+// between bus transactions. It reports whether the run completed; a
+// false return means the simulator was abandoned at Progress() cycles
+// with its internal state torn mid-operation — read nothing but
+// Progress from it.
+func (s *Simulator) RunCancelable() (completed bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(canceledSignal); !ok {
+				panic(r)
+			}
+		}
+	}()
+	s.Run()
+	return true
 }
 
 // Run executes warmup plus the traced window.
@@ -332,6 +392,8 @@ func (s *Simulator) loopReference() {
 
 // step runs one bounded unit of work on a CPU.
 func (s *Simulator) step(c *CPU) {
+	s.pollCancel(c)
+	s.cycle.Store(int64(c.now))
 	s.QDepthSum += int64(s.K.RunnableCount())
 	s.QSamples++
 	if c.needSync {

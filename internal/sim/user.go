@@ -121,6 +121,7 @@ func (s *Simulator) genRefs(c *CPU, pr *kernel.Proc) {
 			return
 		}
 		pa := arch.FrameAddr(fr) + arch.PAddr((pos%blocksPerPage)*arch.BlockSize)
+		s.pollCancel(c)
 		out := s.Bus.Fetch(c.id, pa, c.now)
 		c.adv(arch.InstrPerBlock)
 		if out.Stall > 0 {

@@ -49,14 +49,54 @@ go test -run 'TestDefaultMachineMatchesSeed' ./internal/report
 echo "== geometry sweep smoke (sweep -exp geometry, checker on)"
 go run ./cmd/sweep -exp geometry -window 1000000 >/dev/null
 
+echo "== charosd smoke (panic isolation, 429 shed, SIGTERM drain)"
+smoke=$(mktemp -d)
+daemon=""
+cleanup_smoke() {
+    [ -n "$daemon" ] && kill "$daemon" 2>/dev/null || true
+    rm -rf "$smoke"
+}
+trap 'cleanup_smoke' EXIT
+go build -o "$smoke/charosd" ./cmd/charosd
+caddr=127.0.0.1:18416
+"$smoke/charosd" -addr "$caddr" -workers 1 -queue 1 -test-hooks \
+    -drain-policy cancel -drain-timeout 20s 2> "$smoke/charosd.log" &
+daemon=$!
+# The submit client retries with backoff, so the first submission doubles
+# as the ready-wait; it must print the run's report.
+"$smoke/charosd" -submit -addr "$caddr" -seed 2 -window 400000 | grep -q '^run ' || {
+    echo "FAIL: charosd returned no report for a healthy job" >&2; exit 1; }
+# A forced-panic job (test hook) must resolve as a structured failure —
+# nonzero exit, error kind "panic" — without killing the worker pool.
+if "$smoke/charosd" -submit -addr "$caddr" -seed 2 -window 400000 -test-panic 2> "$smoke/panic.err"; then
+    echo "FAIL: forced-panic job exited zero" >&2; exit 1
+fi
+grep -q 'panic' "$smoke/panic.err" || {
+    echo "FAIL: panic job carried no structured panic error" >&2; exit 1; }
+# Saturate: pin the single worker and the single queue slot with long
+# runs (distinct seeds — dedup would collapse identical configs) …
+"$smoke/charosd" -submit -nowait -addr "$caddr" -seed 3 -window 500000000 >/dev/null
+"$smoke/charosd" -submit -nowait -addr "$caddr" -seed 4 -window 500000000 >/dev/null
+# … then a no-retry submission must shed with 429 + Retry-After.
+if "$smoke/charosd" -submit -nowait -retries -1 -addr "$caddr" -seed 5 -window 500000000 2> "$smoke/shed.err"; then
+    echo "FAIL: saturated submission was not shed" >&2; exit 1
+fi
+grep -q '429' "$smoke/shed.err" || {
+    echo "FAIL: shed submission did not surface the 429" >&2; exit 1; }
+# SIGTERM: the drain must resolve every accepted job and exit 0.
+kill -TERM "$daemon"
+wait "$daemon" || { echo "FAIL: charosd exited nonzero after SIGTERM" >&2; exit 1; }
+daemon=""
+grep -q 'drain complete: all accepted jobs resolved' "$smoke/charosd.log" || {
+    echo "FAIL: drain did not resolve all accepted jobs" >&2; exit 1; }
+
 echo "== recorded benchmark gate (bench.sh compare BENCH_PR4 vs BENCH_PR5)"
 scripts/bench.sh compare BENCH_PR4.json BENCH_PR5.json -threshold 50
 
 echo "== benchmark regression gate (bench.sh compare vs BENCH_PR5.json)"
 # One quick repetition against the committed PR 5 numbers. The threshold is
 # deliberately loose (noisy shared runners); tighten it for local tuning.
-gate=$(mktemp)
-trap 'rm -f "$gate"' EXIT
+gate="$smoke/gate.json"
 scripts/bench.sh -count 1 -bench 'BenchmarkPipeline_FullCharacterization' -phase gate -out "$gate" 2>/dev/null
 scripts/bench.sh compare BENCH_PR5.json "$gate" -threshold 50
 
