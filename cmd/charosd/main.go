@@ -8,15 +8,29 @@
 //
 // Server mode:
 //
-//	charosd [-addr :8416] [-workers N] [-queue N] [-job-timeout D]
-//	        [-stall-timeout D] [-drain-policy finish|cancel]
-//	        [-drain-timeout D] [-retry-after D] [-test-hooks]
+//	charosd [-addr :8416] [-workers N] [-workers-max N] [-queue N]
+//	        [-shards N] [-cache-entries N] [-job-history N]
+//	        [-job-timeout D] [-stall-timeout D]
+//	        [-drain-policy finish|cancel] [-drain-timeout D]
+//	        [-retry-after D] [-test-hooks]
+//
+// The result store is sharded (-shards, power of two) with a bounded
+// per-shard LRU over completed results (-cache-entries total); GET
+// /v1/metrics exposes per-shard and global hit/miss/eviction counters
+// plus p50/p90/p99 submit-to-terminal latency and throughput. With
+// -workers-max above -workers an adaptive manager grows and shrinks the
+// worker pool between the two on queue-depth and p99 thresholds.
 //
 // Client mode (submit one job and wait):
 //
 //	charosd -submit [-addr host:port] [-workload Pmake] [-seed N]
 //	        [-window N] [-warmup N] [-ncpu N] [-machine 4d340|4d380]
 //	        [-check] [-timeout D] [-retries N] [-nowait] [-test-panic]
+//
+// Load-generator mode (fire N concurrent clients and report):
+//
+//	charosd -load N [-addr host:port] [-workload Pmake] [-window N]
+//	        [-warmup N] [-load-hot K] [-load-distinct K]
 //
 // Submission is idempotent: results are content-addressed by the
 // canonical config hash, so a client that was shed (or lost its
@@ -25,15 +39,21 @@
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -44,7 +64,11 @@ func main() { os.Exit(run()) }
 
 func run() int {
 	addr := flag.String("addr", ":8416", "listen address (server) or server address (with -submit)")
-	workers := flag.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS)")
+	workers := flag.Int("workers", 0, "worker-pool size, or the adaptive floor with -workers-max (0 = GOMAXPROCS)")
+	workersMax := flag.Int("workers-max", 0, "adaptive worker ceiling; 0 or <= -workers keeps a fixed pool")
+	shards := flag.Int("shards", 8, "result-store shard count (rounded up to a power of two)")
+	cacheEntries := flag.Int("cache-entries", 4096, "completed results resident across all shards before LRU eviction")
+	jobHistory := flag.Int("job-history", 4096, "terminal jobs retained in the registry; older IDs return 404")
 	queue := flag.Int("queue", 64, "admission-queue depth; beyond it submissions shed with 429")
 	retryAfter := flag.Duration("retry-after", time.Second, "Retry-After hint advertised on shed")
 	jobTimeout := flag.Duration("job-timeout", 0, "default per-job wall-clock cap (0 = none)")
@@ -68,8 +92,17 @@ func run() int {
 	retries := flag.Int("retries", 0, "client: retry budget after shed/transport errors (0 = default 8, negative = none)")
 	nowait := flag.Bool("nowait", false, "client: return after admission instead of waiting for the result")
 	testPanic := flag.Bool("test-panic", false, "client: submit a job that panics mid-run (server must run -test-hooks)")
+	load := flag.Int("load", 0, "load-generator mode: fire N concurrent clients at the server and report")
+	loadHot := flag.Int("load-hot", 4, "load mode: distinct hot configs shared by 3/4 of the clients (dedup path)")
+	loadDistinct := flag.Int("load-distinct", 16, "load mode: distinct cold configs spread over the rest (eviction path)")
 	flag.Parse()
 
+	if *load > 0 {
+		return loadMain(*addr, *load, *loadHot, *loadDistinct, service.Request{
+			Workload: *wl, Machine: *machine, NCPU: *ncpu,
+			Window: *window, Warmup: *warmup,
+		})
+	}
 	if *submit {
 		return clientMain(*addr, service.Request{
 			Workload: *wl, Machine: *machine, NCPU: *ncpu, Seed: *seed,
@@ -84,7 +117,9 @@ func run() int {
 	}
 	logger := log.New(os.Stderr, "charosd: ", log.LstdFlags|log.Lmicroseconds)
 	srv := service.New(service.Options{
-		Workers: *workers, QueueDepth: *queue, RetryAfter: *retryAfter,
+		Workers: *workers, MaxWorkers: *workersMax,
+		Shards: *shards, CacheEntries: *cacheEntries, JobHistory: *jobHistory,
+		QueueDepth: *queue, RetryAfter: *retryAfter,
 		JobTimeout: *jobTimeout, StallTimeout: *stallTimeout,
 		DrainFinish: *drainPolicy == "finish", DrainTimeout: *drainTimeout,
 		TestHooks: *testHooks,
@@ -97,8 +132,9 @@ func run() int {
 		return 2
 	}
 	httpSrv := &http.Server{Handler: srv.Handler()}
-	logger.Printf("serving on %s (workers=%d queue=%d drain=%s/%s)",
-		ln.Addr(), *workers, *queue, *drainPolicy, *drainTimeout)
+	logger.Printf("serving on %s (workers=%d..%d shards=%d cache=%d history=%d queue=%d drain=%s/%s)",
+		ln.Addr(), *workers, *workersMax, *shards, *cacheEntries, *jobHistory,
+		*queue, *drainPolicy, *drainTimeout)
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()
@@ -170,4 +206,89 @@ func clientMain(addr string, req service.Request, timeout time.Duration, retries
 		fmt.Fprintf(os.Stderr, "job %s %s (%s): %s\n", st.ID, st.State, st.ErrorKind, st.Error)
 		return 1
 	}
+}
+
+// loadMain is the load-generator: n concurrent clients hammer the server
+// over real HTTP with a mix of duplicate hot configs (the dedup path)
+// and distinct cold ones (the eviction path), retrying sheds per
+// Retry-After. It counts raw status codes and fails if anything but
+// 200 (terminal job) or 429 (shed, retried) ever comes back, or if any
+// job resolves to a state other than "done". Exit codes: 0 all clients
+// landed, 1 bad responses or unfinished jobs, 3 transport failure.
+func loadMain(addr string, n, hot, distinct int, base service.Request) int {
+	host := addr
+	if len(host) > 0 && host[0] == ':' {
+		host = "127.0.0.1" + host
+	}
+	url := "http://" + host + "/v1/jobs?wait=1"
+	if hot < 1 {
+		hot = 1
+	}
+	if distinct < 1 {
+		distinct = 1
+	}
+	tr := &http.Transport{MaxIdleConnsPerHost: 128, MaxConnsPerHost: 256}
+	hc := &http.Client{Transport: tr}
+	defer tr.CloseIdleConnections()
+
+	var ok200, shed429, badCode, badState, transport atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		req := base
+		if i%4 != 0 {
+			req.Seed = 1 + int64(i%hot) // duplicate traffic: dedup/singleflight
+		} else {
+			req.Seed = 100_000 + int64(i%distinct) // cold traffic: LRU churn
+		}
+		body, err := json.Marshal(req)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 3
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for attempt := 0; ; attempt++ {
+				resp, err := hc.Post(url, "application/json", bytes.NewReader(body))
+				if err != nil {
+					transport.Add(1)
+					return
+				}
+				raw, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				switch resp.StatusCode {
+				case http.StatusOK:
+					ok200.Add(1)
+					var st service.JobStatus
+					if json.Unmarshal(raw, &st) != nil || st.State != service.StateDone {
+						badState.Add(1)
+					}
+					return
+				case http.StatusTooManyRequests:
+					shed429.Add(1)
+					if attempt > 200 {
+						badCode.Add(1) // never landed
+						return
+					}
+					after := time.Second
+					if sec, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && sec > 0 {
+						after = time.Duration(sec) * time.Second
+					}
+					time.Sleep(after/2 + time.Duration(i%97)*time.Millisecond)
+				default:
+					badCode.Add(1)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	fmt.Printf("load: %d clients in %.1fs — %d done, %d sheds retried, %d bad codes, %d bad states, %d transport errors\n",
+		n, time.Since(start).Seconds(), ok200.Load(), shed429.Load(),
+		badCode.Load(), badState.Load(), transport.Load())
+	if badCode.Load() > 0 || badState.Load() > 0 || transport.Load() > 0 || ok200.Load() != int64(n) {
+		return 1
+	}
+	return 0
 }

@@ -111,9 +111,18 @@ func (c *Client) submit(ctx context.Context, req Request, wait bool) (JobStatus,
 	if wait {
 		url += "?wait=1"
 	}
+	return c.withRetry(ctx, func(ctx context.Context) (JobStatus, time.Duration, error) {
+		return c.post(ctx, url, body)
+	})
+}
+
+// withRetry drives one request function through the client's capped,
+// jittered backoff loop, honoring Retry-After. Transport errors, 429 and
+// 503 retry; any other server response (400, 404, …) returns at once.
+func (c *Client) withRetry(ctx context.Context, do func(context.Context) (JobStatus, time.Duration, error)) (JobStatus, error) {
 	var lastErr error
 	for attempt := 0; ; attempt++ {
-		st, retryAfter, err := c.post(ctx, url, body)
+		st, retryAfter, err := do(ctx)
 		if err == nil {
 			return st, nil
 		}
@@ -135,10 +144,24 @@ func (c *Client) submit(ctx context.Context, req Request, wait bool) (JobStatus,
 	}
 }
 
-// Wait blocks until the job is terminal and returns its status.
+// Wait blocks until the job is terminal and returns its status. Like
+// Submit, it retries transport blips, 429 and 503 with the same capped,
+// jittered backoff — the job keeps running server-side, so giving up on
+// the first long-poll hiccup would orphan it.
 func (c *Client) Wait(ctx context.Context, id string) (JobStatus, error) {
-	st, _, err := c.get(ctx, c.Base+"/v1/jobs/"+id+"?wait=1")
-	return st, err
+	return c.Status(ctx, id, true)
+}
+
+// Status fetches one job's status, optionally long-polling until it is
+// terminal, with the client's standard retry loop.
+func (c *Client) Status(ctx context.Context, id string, wait bool) (JobStatus, error) {
+	url := c.Base + "/v1/jobs/" + id
+	if wait {
+		url += "?wait=1"
+	}
+	return c.withRetry(ctx, func(ctx context.Context) (JobStatus, time.Duration, error) {
+		return c.get(ctx, url)
+	})
 }
 
 func (c *Client) httpClient() *http.Client {

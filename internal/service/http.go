@@ -16,6 +16,9 @@ import (
 //	GET  /v1/jobs           list every job's status, submission order.
 //	GET  /v1/jobs/{id}      one job's status; ?wait=1 blocks until terminal.
 //	GET  /v1/stats          counter snapshot.
+//	GET  /v1/metrics        per-shard + global cache counters, p50/p90/p99
+//	                        submit-to-terminal latency, throughput, worker
+//	                        pool and registry state.
 //	GET  /healthz           200 while the process lives.
 //	GET  /readyz            200 while admitting, 503 once draining.
 //
@@ -29,6 +32,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs", s.handleList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
@@ -56,7 +60,12 @@ type errorBody struct {
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var req Request
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	// Reject unknown fields instead of ignoring them: a typoed field
+	// (e.g. "windwo") would otherwise silently run — and cache — the
+	// default config. The decode error names the offending field.
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request body: " + err.Error()})
 		return
 	}
@@ -112,4 +121,8 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Metrics())
 }

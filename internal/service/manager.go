@@ -1,0 +1,156 @@
+package service
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// poolManager owns the run-executing worker pool. With a ceiling above
+// the floor it is adaptive: a background loop watches queue depth and
+// the interval p99 of submit-to-terminal latency (the delta between
+// successive histogram snapshots, so a long-gone latency spike cannot
+// keep the pool inflated) and grows or shrinks the pool between the two
+// bounds. Hysteresis (separate grow and shrink thresholds) plus a
+// cooldown after every action keep it from flapping; drain semantics are
+// unchanged — the queue closes, every worker finishes its backlog and
+// exits, and every accepted job still resolves.
+type poolManager struct {
+	s       *Server
+	floor   int
+	ceiling int
+
+	interval time.Duration
+	cooldown time.Duration
+	p99High  time.Duration
+	p99Low   time.Duration
+
+	live          atomic.Int64 // workers currently running
+	pendingRetire atomic.Int64 // retire tokens sent but not yet consumed
+	scaleUps      atomic.Int64
+	scaleDowns    atomic.Int64
+
+	retire chan struct{} // buffered; workers poll it between jobs
+	stop   chan struct{} // closed by Drain
+	done   chan struct{} // closed when the adapt loop exits
+}
+
+func newPoolManager(s *Server, o Options) *poolManager {
+	m := &poolManager{
+		s:        s,
+		floor:    o.Workers,
+		ceiling:  o.MaxWorkers,
+		interval: o.AdaptInterval,
+		cooldown: o.ScaleCooldown,
+		p99High:  o.ScaleP99High,
+		p99Low:   o.ScaleP99Low,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	if m.ceiling < m.floor {
+		m.ceiling = m.floor
+	}
+	m.retire = make(chan struct{}, m.ceiling)
+	return m
+}
+
+func (m *poolManager) adaptive() bool { return m.ceiling > m.floor }
+
+// target is the pool size the manager is steering toward: live workers
+// minus the retires already in flight.
+func (m *poolManager) target() int {
+	return int(m.live.Load() - m.pendingRetire.Load())
+}
+
+// start launches the floor workers and, when adaptive, the adapt loop.
+func (m *poolManager) start() {
+	for i := 0; i < m.floor; i++ {
+		m.s.startWorker()
+	}
+	if m.adaptive() {
+		go m.adapt()
+	} else {
+		close(m.done)
+	}
+}
+
+// scaleUp adds one worker. A pending retire is cancelled instead of
+// spawning — the net pool-size change is identical and it avoids
+// churning goroutines.
+func (m *poolManager) scaleUp() {
+	select {
+	case <-m.retire:
+		m.pendingRetire.Add(-1)
+	default:
+		m.s.startWorker()
+	}
+	m.scaleUps.Add(1)
+}
+
+// scaleDown asks one worker to exit after its current job.
+func (m *poolManager) scaleDown() {
+	select {
+	case m.retire <- struct{}{}:
+		m.pendingRetire.Add(1)
+		m.scaleDowns.Add(1)
+	default:
+	}
+}
+
+// adapt is the manager loop: every interval it computes queue pressure
+// and the p99 over latencies observed since the previous tick, then
+// grows on (queue ≥ 3/4 full OR interval p99 > high threshold) and
+// shrinks on (queue empty AND interval p99 < low threshold), each
+// subject to the bounds and the cooldown.
+func (m *poolManager) adapt() {
+	defer close(m.done)
+	tick := time.NewTicker(m.interval)
+	defer tick.Stop()
+	prev := m.s.store.globalCounts()
+	lastAction := time.Now()
+	for {
+		select {
+		case <-m.stop:
+			return
+		case <-tick.C:
+		}
+		cur := m.s.store.globalCounts()
+		var delta [histBuckets]int64
+		var observed int64
+		for i := range cur {
+			delta[i] = cur[i] - prev[i]
+			observed += delta[i]
+		}
+		prev = cur
+
+		qlen, qcap := len(m.s.queue), cap(m.s.queue)
+		p99 := time.Duration(quantileMS(delta, 0.99) * float64(time.Millisecond))
+		now := time.Now()
+		if now.Sub(lastAction) < m.cooldown {
+			continue
+		}
+		switch {
+		case (4*qlen >= 3*qcap || (observed > 0 && p99 > m.p99High)) && m.target() < m.ceiling:
+			m.scaleUp()
+			lastAction = now
+			m.s.opts.Logf("manager: scale up to %d workers (queue %d/%d, interval p99 %s)",
+				m.target(), qlen, qcap, p99)
+		case qlen == 0 && (observed == 0 || p99 < m.p99Low) && m.target() > m.floor:
+			m.scaleDown()
+			lastAction = now
+			m.s.opts.Logf("manager: scale down toward %d workers (idle, interval p99 %s)",
+				m.target(), p99)
+		}
+	}
+}
+
+// metrics snapshots the pool for /v1/metrics.
+func (m *poolManager) metrics() WorkerMetrics {
+	return WorkerMetrics{
+		Live:       int(m.live.Load()),
+		Floor:      m.floor,
+		Ceiling:    m.ceiling,
+		Adaptive:   m.adaptive(),
+		ScaleUps:   m.scaleUps.Load(),
+		ScaleDowns: m.scaleDowns.Load(),
+	}
+}

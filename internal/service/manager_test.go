@@ -1,0 +1,69 @@
+package service
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestAdaptiveWorkerScaling: with MaxWorkers above Workers the pool
+// manager grows the pool under queue pressure, never exceeds the
+// ceiling, and shrinks back to the floor once the backlog is gone —
+// while every accepted job still resolves.
+func TestAdaptiveWorkerScaling(t *testing.T) {
+	srv, _ := newTestServer(t, Options{
+		Workers:       1,
+		MaxWorkers:    3,
+		QueueDepth:    4,
+		AdaptInterval: 20 * time.Millisecond,
+		ScaleCooldown: 25 * time.Millisecond,
+		ScaleP99High:  40 * time.Millisecond,
+		ScaleP99Low:   5 * time.Millisecond,
+	})
+
+	if m := srv.Metrics().Workers; m.Live != 1 || !m.Adaptive || m.Ceiling != 3 {
+		t.Fatalf("initial pool %+v, want 1 live worker under an adaptive ceiling of 3", m)
+	}
+
+	// A burst of distinct configs: each is a leader, so the queue backs
+	// up and the manager sees sustained pressure.
+	const burst = 10
+	var jobs []*Job
+	for i := 0; i < burst; i++ {
+		for {
+			job, err := srv.Submit(Request{Workload: "Pmake", Seed: int64(800 + i), Window: 800_000})
+			if err == nil {
+				jobs = append(jobs, job)
+				break
+			}
+			if !errors.Is(err, ErrSaturated) {
+				t.Fatal(err)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+
+	waitFor(t, "pool to grow under backlog", func() bool {
+		return srv.Metrics().Workers.Live >= 2
+	})
+	if m := srv.Metrics().Workers; m.Live > m.Ceiling {
+		t.Fatalf("pool grew past its ceiling: %+v", m)
+	}
+
+	for _, job := range jobs {
+		<-job.done
+	}
+	waitFor(t, "pool to shrink back to the floor when idle", func() bool {
+		m := srv.Metrics().Workers
+		return m.Live == m.Floor
+	})
+	m := srv.Metrics().Workers
+	if m.ScaleUps < 1 || m.ScaleDowns < 1 {
+		t.Errorf("manager took no actions both ways: %+v", m)
+	}
+
+	srv.Drain()
+	if st := srv.Stats(); st.Completed != burst || st.Accepted != burst {
+		t.Errorf("stats after drain %+v, want %d/%d", st, burst, burst)
+	}
+}

@@ -117,12 +117,18 @@ type Job struct {
 
 	// entry is the job's singleflight claim (leader jobs only).
 	entry *cacheEntry
+	// submitted is the admission stamp; resolve's time.Since(submitted)
+	// is the submit-to-terminal latency observed by the metrics layer
+	// (the only two wall-clock reads on the job path).
+	submitted time.Time
 
 	mu      sync.Mutex
 	state   string
 	outcome Outcome
 	// progress reports the run's simulated-cycle heartbeat while
-	// running (nil otherwise).
+	// running. resolve nils it at terminal state — the closure pins the
+	// run's entire simulator pipeline (caches, shadow memory, classifier
+	// pages), which must not outlive the run.
 	progress func() arch.Cycles
 	done     chan struct{}
 }
@@ -202,8 +208,33 @@ func deterministicErr(err error) bool {
 
 // Options tunes the server.
 type Options struct {
-	// Workers is the run-executing pool size (default GOMAXPROCS).
+	// Workers is the run-executing pool size (default GOMAXPROCS). With
+	// MaxWorkers above it, it is the adaptive pool's floor instead.
 	Workers int
+	// MaxWorkers, when greater than Workers, enables the adaptive worker
+	// manager: the pool grows toward MaxWorkers under queue pressure or
+	// high interval p99 latency and shrinks back toward Workers when
+	// idle. Zero (or <= Workers) keeps a fixed pool.
+	MaxWorkers int
+	// AdaptInterval is the manager's sampling period (default 500ms).
+	AdaptInterval time.Duration
+	// ScaleCooldown is the minimum gap between scaling actions —
+	// together with the separate grow/shrink thresholds it keeps the
+	// manager from flapping (default 2s).
+	ScaleCooldown time.Duration
+	// ScaleP99High/ScaleP99Low are the grow/shrink latency thresholds on
+	// the interval p99 (defaults 5s and 1s).
+	ScaleP99High time.Duration
+	ScaleP99Low  time.Duration
+	// Shards is the result-store shard count, rounded up to a power of
+	// two (default 8).
+	Shards int
+	// CacheEntries bounds completed results resident across all shards;
+	// beyond it the per-shard LRU evicts (default 4096).
+	CacheEntries int
+	// JobHistory bounds terminal jobs retained in the registry; older
+	// terminal jobs are evicted and their IDs return 404 (default 4096).
+	JobHistory int
 	// QueueDepth bounds the admission queue; submissions beyond it are
 	// shed with ErrSaturated (default 64).
 	QueueDepth int
@@ -234,6 +265,30 @@ type Options struct {
 func (o Options) withDefaults() Options {
 	if o.Workers <= 0 {
 		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.MaxWorkers < o.Workers {
+		o.MaxWorkers = o.Workers // fixed pool
+	}
+	if o.AdaptInterval <= 0 {
+		o.AdaptInterval = 500 * time.Millisecond
+	}
+	if o.ScaleCooldown <= 0 {
+		o.ScaleCooldown = 2 * time.Second
+	}
+	if o.ScaleP99High <= 0 {
+		o.ScaleP99High = 5 * time.Second
+	}
+	if o.ScaleP99Low <= 0 {
+		o.ScaleP99Low = time.Second
+	}
+	if o.Shards <= 0 {
+		o.Shards = 8
+	}
+	if o.CacheEntries <= 0 {
+		o.CacheEntries = defaultCacheEntries
+	}
+	if o.JobHistory <= 0 {
+		o.JobHistory = 4096
 	}
 	if o.QueueDepth <= 0 {
 		o.QueueDepth = 64
@@ -267,14 +322,20 @@ type Stats struct {
 	Canceled  int64 `json:"canceled"`
 	Shed      int64 `json:"shed"`
 	CacheHits int64 `json:"cache_hits"`
-	QueueLen  int   `json:"queue_len"`
-	Draining  bool  `json:"draining"`
+	// CacheEvictions counts completed results dropped by the LRU cap;
+	// JobsEvicted terminal jobs dropped by the registry cap.
+	CacheEvictions int64 `json:"cache_evictions"`
+	JobsEvicted    int64 `json:"jobs_evicted"`
+	Workers        int   `json:"workers"`
+	QueueLen       int   `json:"queue_len"`
+	Draining       bool  `json:"draining"`
 }
 
-// Server owns the worker pool, the admission queue and the result cache.
+// Server owns the worker pool, the admission queue and the result store.
 type Server struct {
 	opts  Options
-	cache *Cache
+	store *Store
+	pool  *poolManager
 
 	// hardCtx is canceled to force-stop every run (drain hard deadline).
 	hardCtx  context.Context
@@ -285,13 +346,17 @@ type Server struct {
 	mu     sync.Mutex
 	jobs   map[string]*Job
 	order  []string // submission order, for listing
-	nextID int64
+	// terminal is the completion-order queue of retained terminal job
+	// IDs; beyond Options.JobHistory the oldest are evicted from jobs
+	// and order so a long-running server's registry stays bounded.
+	terminal []string
+	nextID   int64
 
 	draining atomic.Bool
 	workerWG sync.WaitGroup
 	jobWG    sync.WaitGroup // one count per accepted, unresolved job
 
-	accepted, completed, failed, canceledN, shed atomic.Int64
+	accepted, completed, failed, canceledN, shed, jobsEvicted atomic.Int64
 }
 
 // New builds and starts a server (its worker pool runs immediately).
@@ -300,22 +365,45 @@ func New(opts Options) *Server {
 	ctx, stop := context.WithCancelCause(context.Background())
 	s := &Server{
 		opts:     opts,
-		cache:    NewCache(),
+		store:    NewStore(opts.Shards, opts.CacheEntries),
 		hardCtx:  ctx,
 		hardStop: stop,
 		queue:    make(chan *Job, opts.QueueDepth),
 		jobs:     make(map[string]*Job),
 	}
-	s.workerWG.Add(opts.Workers)
-	for w := 0; w < opts.Workers; w++ {
-		go func() {
-			defer s.workerWG.Done()
-			for job := range s.queue {
-				s.execute(job)
-			}
-		}()
-	}
+	s.pool = newPoolManager(s, opts)
+	s.pool.start()
 	return s
+}
+
+// startWorker spawns one pool worker. Workers drain the queue until it
+// closes (drain) or, in an adaptive pool, until they receive a retire
+// token between jobs.
+func (s *Server) startWorker() {
+	s.workerWG.Add(1)
+	s.pool.live.Add(1)
+	go func() {
+		defer s.workerWG.Done()
+		defer s.pool.live.Add(-1)
+		for {
+			select {
+			case <-s.pool.retire:
+				s.pool.pendingRetire.Add(-1)
+				return
+			default:
+			}
+			select {
+			case job, ok := <-s.queue:
+				if !ok {
+					return
+				}
+				s.execute(job)
+			case <-s.pool.retire:
+				s.pool.pendingRetire.Add(-1)
+				return
+			}
+		}
+	}()
 }
 
 // RetryAfter is the shed backoff hint.
@@ -327,14 +415,37 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 // Stats returns a counter snapshot.
 func (s *Server) Stats() Stats {
 	return Stats{
-		Accepted:  s.accepted.Load(),
-		Completed: s.completed.Load(),
-		Failed:    s.failed.Load(),
-		Canceled:  s.canceledN.Load(),
-		Shed:      s.shed.Load(),
-		CacheHits: s.cache.Hits(),
-		QueueLen:  len(s.queue),
-		Draining:  s.draining.Load(),
+		Accepted:       s.accepted.Load(),
+		Completed:      s.completed.Load(),
+		Failed:         s.failed.Load(),
+		Canceled:       s.canceledN.Load(),
+		Shed:           s.shed.Load(),
+		CacheHits:      s.store.Hits(),
+		CacheEvictions: s.store.Evictions(),
+		JobsEvicted:    s.jobsEvicted.Load(),
+		Workers:        int(s.pool.live.Load()),
+		QueueLen:       len(s.queue),
+		Draining:       s.draining.Load(),
+	}
+}
+
+// Metrics assembles the /v1/metrics payload: per-shard and global
+// hit/miss/eviction counters, latency quantiles and throughput, plus the
+// worker pool and registry state.
+func (s *Server) Metrics() Metrics {
+	global, shards := s.store.Snapshot()
+	s.mu.Lock()
+	retained := len(s.terminal)
+	s.mu.Unlock()
+	return Metrics{
+		UptimeSec:    time.Since(s.store.start).Seconds(),
+		Global:       global,
+		Shards:       shards,
+		Workers:      s.pool.metrics(),
+		QueueLen:     len(s.queue),
+		QueueDepth:   cap(s.queue),
+		JobsRetained: retained,
+		JobsEvicted:  s.jobsEvicted.Load(),
 	}
 }
 
@@ -376,6 +487,7 @@ func (s *Server) Submit(req Request) (*Job, error) {
 	job := &Job{
 		Req: req, Cfg: cfg, Hash: hash,
 		state: StateQueued, done: make(chan struct{}),
+		submitted: time.Now(),
 	}
 
 	// Admission, registration and the drain handshake share s.mu: once
@@ -392,7 +504,7 @@ func (s *Server) Submit(req Request) (*Job, error) {
 	var entry *cacheEntry
 	leader := true
 	if !req.TestPanic {
-		entry, leader = s.cache.Begin(hash)
+		entry, leader = s.store.Begin(hash)
 	}
 	s.nextID++
 	job.ID = fmt.Sprintf("j%06d", s.nextID)
@@ -411,14 +523,19 @@ func (s *Server) Submit(req Request) (*Job, error) {
 			s.jobWG.Done()
 			s.mu.Unlock()
 			if entry != nil {
-				s.cache.Abandon(hash, entry, Outcome{Err: ErrSaturated})
+				s.store.Abandon(hash, entry, Outcome{Err: ErrSaturated})
 			}
 			s.shed.Add(1)
 			return nil, ErrSaturated
 		}
 	}
-	s.mu.Unlock()
+	// Count the acceptance inside the admission critical section, after
+	// the job is certain to be admitted: resolve bumps the terminal
+	// counters under the same mutex, so no Stats snapshot can ever show
+	// more resolved jobs than accepted ones, and no rollback decrement
+	// is needed — every counter stays monotone.
 	s.accepted.Add(1)
+	s.mu.Unlock()
 
 	if !leader {
 		// Content-addressed dedup: an identical config is already
@@ -477,7 +594,7 @@ func (s *Server) execute(job *Job) {
 		out = Outcome{Report: report.Single(res.Ch), Cycle: int64(res.Ch.Cfg.Window + res.Ch.Cfg.Warmup)}
 	}
 	if job.entry != nil {
-		s.cache.Complete(job.Hash, job.entry, out)
+		s.store.Complete(job.Hash, job.entry, out)
 	}
 	s.resolve(job, out)
 }
@@ -495,26 +612,70 @@ func errCycle(err error) int64 {
 	return 0
 }
 
-// resolve moves a job to its terminal state and closes Done.
+// resolve moves a job to its terminal state and closes Done. The
+// submit-to-terminal latency is observed and the terminal counters bump
+// before Done closes, so a client woken by its job sees fully settled
+// stats and metrics.
 func (s *Server) resolve(job *Job, out Outcome) {
 	job.mu.Lock()
 	job.outcome = out
+	// Drop the heartbeat closure: it captures the whole simulator
+	// pipeline (caches, shadow memory, classifier pages), which a
+	// terminal job must not pin against GC.
+	job.progress = nil
 	switch {
 	case out.Err == nil:
 		job.state = StateDone
-		s.completed.Add(1)
 	case deterministicErr(out.Err):
 		job.state = StateFailed
-		s.failed.Add(1)
 	default:
 		job.state = StateCanceled
-		s.canceledN.Add(1)
 	}
 	state := job.state
 	job.mu.Unlock()
+	if !job.submitted.IsZero() {
+		s.store.RecordLatency(job.Hash, time.Since(job.submitted))
+	}
+	s.retireJob(job.ID, state)
 	close(job.done)
 	s.opts.Logf("job %s %s (%s seed %d cfg %.12s) cycle=%d err=%v",
 		job.ID, state, job.Req.Workload, job.Req.Seed, job.Hash, out.Cycle, out.Err)
+}
+
+// retireJob bumps the terminal counter for state, appends the job to the
+// bounded retention queue, and evicts the oldest terminal jobs beyond
+// Options.JobHistory from the registry (their IDs then 404) — without
+// the cap, jobs and order grow without bound on a long-running server.
+// Sharing s.mu with admission makes the counters coherent: accepted is
+// counted inside Submit's critical section, so resolved counts can never
+// overtake it in any Stats snapshot.
+func (s *Server) retireJob(id, state string) {
+	s.mu.Lock()
+	switch state {
+	case StateDone:
+		s.completed.Add(1)
+	case StateFailed:
+		s.failed.Add(1)
+	default:
+		s.canceledN.Add(1)
+	}
+	s.terminal = append(s.terminal, id)
+	for len(s.terminal) > s.opts.JobHistory {
+		old := s.terminal[0]
+		// Walking the slice forward is the standard queue idiom; append
+		// reallocates and compacts once the backing array fills, so the
+		// retained window stays O(JobHistory).
+		s.terminal = s.terminal[1:]
+		delete(s.jobs, old)
+		for i, oid := range s.order {
+			if oid == old {
+				s.order = append(s.order[:i], s.order[i+1:]...)
+				break
+			}
+		}
+		s.jobsEvicted.Add(1)
+	}
+	s.mu.Unlock()
 }
 
 // watchdog kills the run when its simulated-cycle heartbeat stops
@@ -566,6 +727,10 @@ func (s *Server) Drain() {
 	}
 	close(s.queue) // workers finish the backlog, then exit
 	s.mu.Unlock()
+	if s.pool.adaptive() {
+		close(s.pool.stop) // no scaling decisions during the drain
+		<-s.pool.done
+	}
 	s.opts.Logf("drain: admission stopped (policy=%s, hard deadline %s)",
 		map[bool]string{true: "finish", false: "cancel"}[s.opts.DrainFinish], s.opts.DrainTimeout)
 	if !s.opts.DrainFinish {

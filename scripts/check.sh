@@ -90,6 +90,27 @@ daemon=""
 grep -q 'drain complete: all accepted jobs resolved' "$smoke/charosd.log" || {
     echo "FAIL: drain did not resolve all accepted jobs" >&2; exit 1; }
 
+echo "== charosd load smoke (300 clients, sharded cache, adaptive pool)"
+# A fresh daemon sized so the load overflows everything on purpose: the
+# LRU cache (8 entries < 12 distinct configs), the job history (64 << 300
+# jobs) and the admission queue (sheds retried by the clients). The load
+# generator exits nonzero unless every client lands a byte-checked "done"
+# job having seen only 200s and 429s.
+laddr=127.0.0.1:18417
+"$smoke/charosd" -addr "$laddr" -workers 1 -workers-max 4 -queue 4 \
+    -shards 4 -cache-entries 8 -job-history 64 -retry-after 50ms \
+    2> "$smoke/charosd-load.log" &
+daemon=$!
+"$smoke/charosd" -submit -addr "$laddr" -seed 9 -window 250000 -warmup 100000 >/dev/null
+"$smoke/charosd" -load 300 -addr "$laddr" -load-hot 4 -load-distinct 8 \
+    -window 250000 -warmup 100000 || {
+    echo "FAIL: charosd load smoke lost clients or saw bad responses" >&2; exit 1; }
+kill -TERM "$daemon"
+wait "$daemon" || { echo "FAIL: charosd exited nonzero after load + SIGTERM" >&2; exit 1; }
+daemon=""
+grep -q 'drain complete: all accepted jobs resolved' "$smoke/charosd-load.log" || {
+    echo "FAIL: post-load drain did not resolve all accepted jobs" >&2; exit 1; }
+
 echo "== recorded benchmark gate (bench.sh compare BENCH_PR4 vs BENCH_PR5)"
 scripts/bench.sh compare BENCH_PR4.json BENCH_PR5.json -threshold 50
 
