@@ -44,6 +44,8 @@ func run() int {
 		"run the generic oracle paths instead of the memory-system fast path")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
 		"worker-pool size for independent runs (1 = serial)")
+	simWorkers := flag.Int("sim-workers", 1,
+		"intra-run worker goroutines for the conservative parallel engine (1 = serial scheduler); output is byte-identical at any count")
 	timeout := flag.Duration("timeout", 0,
 		"wall-clock budget for the whole sweep (0 = none); on expiry prints the cancellation provenance and exits nonzero")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -71,7 +73,14 @@ func run() int {
 		defer cancel()
 	}
 
-	opts := runner.Options{Parallelism: *parallel}
+	// Oversubscription cap: pool workers × intra-run workers must fit the
+	// machine, or the engines just contend with each other.
+	pool := runner.CapTotal(*parallel, *simWorkers)
+	if pool != *parallel {
+		fmt.Fprintf(os.Stderr, "note: -parallel clamped %d -> %d (-sim-workers %d, GOMAXPROCS %d)\n",
+			*parallel, pool, *simWorkers, runtime.GOMAXPROCS(0))
+	}
+	opts := runner.Options{Parallelism: pool, SimWorkers: *simWorkers}
 	switch *exp {
 	case "figure6":
 		set, err := report.RunSetContext(ctx, core.Config{

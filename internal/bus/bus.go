@@ -134,6 +134,15 @@ type System struct {
 	// Jitter, when non-nil, returns extra latency to add to one
 	// CPU-stalling bus transaction (fault injection).
 	Jitter func() arch.Cycles
+	// OnTouch, when non-nil, is called with a CPU id and a block address
+	// immediately before bus activity initiated elsewhere modifies that
+	// block in the CPU's caches (snoops, invalidations). The parallel
+	// engine uses it to discard the CPU's unconsumed speculation when —
+	// and only when — the speculation depends on that block.
+	OnTouch func(q arch.CPUID, a arch.PAddr)
+	// OnTouchAll is OnTouch without a block address (whole I-cache
+	// flushes): the CPU's entire unconsumed speculation is discarded.
+	OnTouchAll func(q arch.CPUID)
 
 	// Reference selects the generic oracle paths (full snoop loops, no
 	// presence filter, way-loop caches). Set via SetReference.
@@ -312,7 +321,9 @@ func (s *System) Read(c arch.CPUID, a arch.PAddr, now arch.Cycles) Outcome {
 		for mm := m; mm != 0; mm &= mm - 1 {
 			// A remote holder supplies the data if dirty and reverts
 			// to clean Shared; memory is updated.
-			s.D[bits.TrailingZeros64(mm)].L2.SnoopRead(a)
+			q := arch.CPUID(bits.TrailingZeros64(mm))
+			s.touch(q, a.Block())
+			s.D[q].L2.SnoopRead(a)
 		}
 	} else {
 		for q := 0; q < s.N; q++ {
@@ -396,7 +407,9 @@ func (s *System) Write(c arch.CPUID, a arch.PAddr, now arch.Cycles) Outcome {
 			m := s.pres.mask(a) &^ (1 << uint(c))
 			shared = m != 0
 			for mm := m; mm != 0; mm &= mm - 1 {
-				s.D[bits.TrailingZeros64(mm)].L2.SnoopRead(a)
+				q := arch.CPUID(bits.TrailingZeros64(mm))
+				s.touch(q, a.Block())
+				s.D[q].L2.SnoopRead(a)
 			}
 		} else {
 			for q := 0; q < s.N; q++ {
@@ -452,7 +465,9 @@ func (s *System) invalidateRemote(c arch.CPUID, a arch.PAddr) {
 			return
 		}
 		for mm := m; mm != 0; mm &= mm - 1 {
-			s.D[bits.TrailingZeros64(mm)].Invalidate(a)
+			q := arch.CPUID(bits.TrailingZeros64(mm))
+			s.touch(q, a.Block())
+			s.D[q].Invalidate(a)
 		}
 		s.pres.clearMask(a, m)
 		return
@@ -500,7 +515,9 @@ func (s *System) Bypass(c arch.CPUID, a arch.PAddr, blocks int, write bool, now 
 				// writer's own included.
 				m := s.pres.mask(ba)
 				for mm := m; mm != 0; mm &= mm - 1 {
-					s.D[bits.TrailingZeros64(mm)].Invalidate(ba)
+					q := arch.CPUID(bits.TrailingZeros64(mm))
+					s.touch(q, ba.Block())
+					s.D[q].Invalidate(ba)
 				}
 				s.pres.clearMask(ba, m)
 			} else {
@@ -528,6 +545,7 @@ func (s *System) Bypass(c arch.CPUID, a arch.PAddr, blocks int, write bool, now 
 func (s *System) InvalidateCodeFrame(f uint32) int {
 	n := 0
 	for q := 0; q < s.N; q++ {
+		s.touchAll(arch.CPUID(q))
 		n += s.I[q].ResidentBlocks()
 		s.I[q].InvalidateAll()
 	}
@@ -546,6 +564,7 @@ func (s *System) InjectEvict(c arch.CPUID, a arch.PAddr, now arch.Cycles) bool {
 	if !d.Resident(a) {
 		return false
 	}
+	s.touch(c, a.Block())
 	dirty := d.L2.Dirty(a)
 	d.Invalidate(a)
 	if s.pres != nil {
@@ -582,6 +601,7 @@ func (s *System) InjectEvictRandom(rng *rand.Rand, c arch.CPUID, burst int, now 
 // injection), telling the checker so stale-fetch tracking stays exact.
 // It returns the number of blocks flushed.
 func (s *System) InjectIFlush(c arch.CPUID) int {
+	s.touchAll(c)
 	n := s.I[c].ResidentBlocks()
 	s.I[c].InvalidateAll()
 	if s.Check != nil {

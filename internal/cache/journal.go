@@ -1,0 +1,116 @@
+package cache
+
+import "repro/internal/arch"
+
+// Journal is an undo log for speculative cache accesses. The parallel
+// simulation engine lets a CPU run ahead through its private caches and
+// may later discard a suffix of that run; the journal records each line's
+// pre-access state so TruncateTo can restore the caches exactly,
+// including the resident counters and the per-frame resident index.
+//
+// It supports only the direct-mapped fast path (the only configuration
+// the parallel engine accepts): every save computes the single line an
+// address can occupy. LRU stamps and the access clock are unobservable
+// with one way, so they need no journaling.
+type Journal struct {
+	saves []lineSave
+	// Dep, when set, receives the block address of every valid line the
+	// journal saves — the lines whose state the speculation observes or
+	// displaces. The parallel engine uses it to build the segment's
+	// dependence set: a committed remote operation on one of these
+	// blocks must truncate the speculation, anything else can't affect
+	// it.
+	Dep func(arch.PAddr)
+}
+
+type lineSave struct {
+	c     *Cache
+	idx   int32
+	valid bool
+	dirty bool
+	// shared is the saved coherence bit. When the cache's sharedBit
+	// array is still unallocated it records false — correct, because
+	// the array only appears via SetShared, which allocates it all-false.
+	shared bool
+	tag    arch.PAddr
+}
+
+// Len returns the number of saves, for checkpointing.
+func (j *Journal) Len() int { return len(j.saves) }
+
+// Reset drops all saves without restoring (the speculation committed or
+// the whole run was abandoned).
+func (j *Journal) Reset() { j.saves = j.saves[:0] }
+
+func dmLine(c *Cache, a arch.PAddr) int {
+	return int(uint32(a)>>arch.BlockShift) & (c.sets - 1)
+}
+
+func (j *Journal) save(c *Cache, idx int) {
+	s := lineSave{
+		c:     c,
+		idx:   int32(idx),
+		valid: c.valid[idx],
+		dirty: c.dirty[idx],
+		tag:   c.tag[idx],
+	}
+	if c.sharedBit != nil {
+		s.shared = c.sharedBit[idx]
+	}
+	j.saves = append(j.saves, s)
+	if s.valid && j.Dep != nil {
+		j.Dep(s.tag)
+	}
+}
+
+// SaveI records the pre-state of the one instruction-cache line a fetch
+// of a can modify.
+func (j *Journal) SaveI(c *Cache, a arch.PAddr) {
+	j.save(c, dmLine(c, a))
+}
+
+// SaveData records the pre-state of every line a data access of a can
+// modify: the L1 and L2 lines a maps to and, when the L2 fill would
+// displace a victim, the L1 line that victim occupies (inclusion
+// invalidates it).
+func (j *Journal) SaveData(h *DataHierarchy, a arch.PAddr) {
+	l1, l2 := h.L1, h.L2
+	b := a.Block()
+	i1 := dmLine(l1, a)
+	i2 := dmLine(l2, a)
+	j.save(l1, i1)
+	j.save(l2, i2)
+	if l2.valid[i2] && l2.tag[i2] != b {
+		// The fill will evict l2.tag[i2]; inclusion removes it from L1.
+		vi := dmLine(l1, l2.tag[i2])
+		if vi != i1 {
+			j.save(l1, vi)
+		}
+	}
+}
+
+// TruncateTo restores every line saved after checkpoint n (in reverse
+// order, so repeated saves of one line end at the oldest state) and
+// drops those saves.
+func (j *Journal) TruncateTo(n int) {
+	for i := len(j.saves) - 1; i >= n; i-- {
+		s := &j.saves[i]
+		c := s.c
+		idx := int(s.idx)
+		if c.valid[idx] {
+			c.residents--
+			c.frameDec(c.tag[idx].Frame())
+		}
+		if s.valid {
+			c.residents++
+			c.frameInc(s.tag.Frame())
+		}
+		c.valid[idx] = s.valid
+		c.tag[idx] = s.tag
+		c.dirty[idx] = s.dirty
+		if c.sharedBit != nil {
+			c.sharedBit[idx] = s.shared
+		}
+	}
+	j.saves = j.saves[:n]
+}

@@ -80,6 +80,13 @@ type Config struct {
 	// Inject, when non-nil and enabled, runs the workload under
 	// deterministic fault injection.
 	Inject *inject.Config
+	// SimWorkers > 1 enables the conservative parallel engine: the CPUs
+	// are speculated ahead across that many goroutines and committed in
+	// the exact serial order, so the report is byte-identical to a
+	// serial run. Deliberately excluded from Hash(): the worker count
+	// changes wall-clock time only, never the output, so every worker
+	// count shares one content address (and one result-cache slot).
+	SimWorkers int
 }
 
 func (c Config) withDefaults() Config {
@@ -229,6 +236,7 @@ func RunMonitored(ctx context.Context, cfg Config, onStart func(progress func() 
 		Reference:      cfg.Reference,
 		Check:          cfg.Check,
 		Inject:         cfg.Inject,
+		SimWorkers:     cfg.SimWorkers,
 		Kernel: kernel.Config{Affinity: cfg.Affinity, OptimizedText: cfg.OptimizedText,
 			BlockOpBypass: cfg.BlockOpBypass},
 	})

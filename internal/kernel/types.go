@@ -72,6 +72,10 @@ type Footprint struct {
 	HotBase  int // first page (index into AllData) of the hot window
 	// AllData caches DataVPages+SharedVPages for the generator.
 	AllData []uint32
+	// Rng drives this process's reference draws. Per-process (seeded
+	// from run seed + PID) so the stream is independent of CPU
+	// interleaving — required by the parallel engine's speculation.
+	Rng RefRand
 }
 
 // Action is what a process wants to do next with its user time.

@@ -3,8 +3,10 @@ package runner
 import (
 	"context"
 	"errors"
+	"runtime"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/arch"
 	"repro/internal/core"
@@ -61,6 +63,54 @@ func TestExperimentsPanicIsolationOrderPreserved(t *testing.T) {
 		if res[i].Ch == nil || res[i].Ch.Cfg.Workload != cfgs[i].Workload {
 			t.Fatalf("slot %d does not hold its own run (order not preserved)", i)
 		}
+	}
+}
+
+// TestParallelEngineCancelNoLeak cancels runs mid-simulation while the
+// conservative parallel engine is active. Each cancellation must
+// propagate before the run's next bus transaction and come back as a
+// structured *core.CanceledError with full provenance — and the
+// engine's speculation workers must all exit: repeated canceled runs
+// may not accumulate goroutines.
+func TestParallelEngineCancelNoLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	cfg := core.Config{
+		Workload: workload.Oracle, NCPU: 8,
+		// A window far past what the deadline allows: the run can only
+		// end through the cancel path.
+		Window: 1 << 30, Seed: 7, SimWorkers: 4,
+	}
+	for i := 0; i < 4; i++ {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+		res := RunOne(ctx, cfg)
+		cancel()
+		if res.Ch != nil {
+			t.Fatal("canceled run still produced a characterization")
+		}
+		var ce *core.CanceledError
+		if !errors.As(res.Err, &ce) {
+			t.Fatalf("error is %T (%v), want *core.CanceledError", res.Err, res.Err)
+		}
+		if ce.ConfigHash != cfg.Hash() {
+			t.Errorf("provenance hash %q != cfg hash %q", ce.ConfigHash, cfg.Hash())
+		}
+		if ce.Cycle == 0 {
+			t.Error("cancellation carries no simulated-cycle provenance")
+		}
+	}
+	// The speculation workers are per-phase: a clean unwind leaves no
+	// goroutine behind. Poll briefly — exiting goroutines need a
+	// scheduler beat to be reaped from the count.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before, %d after canceled parallel runs",
+				before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }
 

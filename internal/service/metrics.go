@@ -122,6 +122,18 @@ type WorkerMetrics struct {
 	ScaleDowns int64 `json:"scale_downs"`
 }
 
+// JobMetrics is one retained job's execution record: the intra-run
+// worker count the run used and its simulated-cycle throughput. Both
+// are zero for jobs that executed nothing (dedup followers, cache
+// hits, canceled-before-start) — observability never inherits a
+// leader's numbers.
+type JobMetrics struct {
+	ID            string  `json:"id"`
+	State         string  `json:"state"`
+	SimWorkers    int     `json:"sim_workers,omitempty"`
+	MCyclesPerSec float64 `json:"mcycles_per_sec,omitempty"`
+}
+
 // Metrics is the GET /v1/metrics payload.
 type Metrics struct {
 	UptimeSec  float64        `json:"uptime_sec"`
@@ -134,6 +146,9 @@ type Metrics struct {
 	// (bounded by Options.JobHistory).
 	JobsRetained int   `json:"jobs_retained"`
 	JobsEvicted  int64 `json:"jobs_evicted"`
+	// Jobs lists the registry's jobs in submission order (bounded by
+	// Options.JobHistory).
+	Jobs []JobMetrics `json:"jobs,omitempty"`
 }
 
 // snapshotShard renders one shard under its lock.

@@ -1,0 +1,109 @@
+// Tests for the intra-run parallel-engine plumbing: the total-worker
+// budget clamp, the per-job sim-worker and throughput observability in
+// /v1/metrics, and report identity between serial and parallel-engine
+// jobs (SimWorkers is hash-neutral, so both land on one cache slot).
+package service
+
+import (
+	"context"
+	"testing"
+)
+
+// parReq is a config the conservative parallel engine accepts (more
+// than one CPU, no checker).
+func parReq(seed int64, simWorkers int) Request {
+	return Request{Workload: "Oracle", NCPU: 4, Seed: seed,
+		Window: 300_000, Warmup: 100_000, SimWorkers: simWorkers}
+}
+
+// TestSimWorkersBudgetClamp: with a total-worker budget, a job's
+// requested intra-run parallelism is clamped so pool ceiling × sim
+// workers never exceeds it.
+func TestSimWorkersBudgetClamp(t *testing.T) {
+	srv, cl := newTestServer(t, Options{Workers: 2, MaxTotalWorkers: 6})
+	defer srv.Drain()
+
+	// 6/2 = 3 sim workers at most; the request asks for 16.
+	st, err := cl.Submit(context.Background(), parReq(31, 16))
+	if err != nil || st.State != StateDone {
+		t.Fatalf("st=%+v err=%v", st, err)
+	}
+	if st.SimWorkers != 3 {
+		t.Errorf("job ran with %d sim workers, want 3 (budget 6 / 2 pool workers)", st.SimWorkers)
+	}
+	if st.MCyclesPerSec <= 0 {
+		t.Errorf("job reports no simulated throughput: %+v", st)
+	}
+}
+
+// TestSimWorkersDefaultAndJobMetrics: the server-level default applies
+// to jobs that request nothing, /v1/metrics lists per-job sim workers
+// and Mcycles/s, and a dedup follower honestly reports zero for both —
+// it executed nothing.
+func TestSimWorkersDefaultAndJobMetrics(t *testing.T) {
+	srv, cl := newTestServer(t, Options{Workers: 1, SimWorkers: 2})
+	defer srv.Drain()
+	ctx := context.Background()
+
+	st, err := cl.Submit(ctx, parReq(32, 0))
+	if err != nil || st.State != StateDone {
+		t.Fatalf("leader: st=%+v err=%v", st, err)
+	}
+	if st.SimWorkers != 2 {
+		t.Errorf("leader ran with %d sim workers, want the server default 2", st.SimWorkers)
+	}
+	// Same config again: a pure cache hit. SimWorkers is hash-neutral,
+	// so the follower dedups onto the leader's result — but reports no
+	// execution stats of its own.
+	st2, err := cl.Submit(ctx, parReq(32, 0))
+	if err != nil || st2.State != StateDone {
+		t.Fatalf("follower: st=%+v err=%v", st2, err)
+	}
+	if st2.Report != st.Report {
+		t.Error("dedup follower got a different report than the leader")
+	}
+	if st2.SimWorkers != 0 || st2.MCyclesPerSec != 0 {
+		t.Errorf("follower inherited execution stats it never earned: %+v", st2)
+	}
+
+	m := srv.Metrics()
+	if len(m.Jobs) != 2 {
+		t.Fatalf("metrics list %d jobs, want 2", len(m.Jobs))
+	}
+	if m.Jobs[0].SimWorkers != 2 || m.Jobs[0].MCyclesPerSec <= 0 {
+		t.Errorf("leader metrics %+v: want 2 sim workers and positive throughput", m.Jobs[0])
+	}
+	if m.Jobs[1].SimWorkers != 0 || m.Jobs[1].MCyclesPerSec != 0 {
+		t.Errorf("follower metrics %+v: want zero execution stats", m.Jobs[1])
+	}
+}
+
+// TestParallelEngineReportIdentity: a job run on the parallel engine
+// must return the byte-identical report of a serial job with the same
+// config — through the whole service stack.
+func TestParallelEngineReportIdentity(t *testing.T) {
+	srv, cl := newTestServer(t, Options{Workers: 1})
+	defer srv.Drain()
+	ctx := context.Background()
+
+	serial, err := cl.Submit(ctx, parReq(33, 1))
+	if err != nil || serial.State != StateDone {
+		t.Fatalf("serial: st=%+v err=%v", serial, err)
+	}
+	// Distinct seed bypasses the cache; then compare against a serial
+	// run of that same seed via the hash-neutrality of SimWorkers: the
+	// parallel job must be a cache MISS only if the serial one never
+	// ran. Use a fresh server to force a real parallel execution.
+	srv2, cl2 := newTestServer(t, Options{Workers: 1})
+	defer srv2.Drain()
+	par, err := cl2.Submit(ctx, parReq(33, 4))
+	if err != nil || par.State != StateDone {
+		t.Fatalf("parallel: st=%+v err=%v", par, err)
+	}
+	if par.SimWorkers != 4 {
+		t.Errorf("parallel job ran with %d sim workers, want 4", par.SimWorkers)
+	}
+	if par.Report != serial.Report {
+		t.Error("parallel-engine report differs from the serial engine's")
+	}
+}

@@ -71,6 +71,12 @@ type Request struct {
 	Warmup int64 `json:"warmup,omitempty"`
 	// Check runs the invariant checker alongside the job.
 	Check bool `json:"check,omitempty"`
+	// SimWorkers is the job's intra-run worker count for the
+	// conservative parallel engine (0 inherits the server default, 1
+	// forces serial). It never affects the job's output or its cache
+	// identity — worker count changes wall-clock only — and the server
+	// clamps it against its total-worker budget.
+	SimWorkers int `json:"sim_workers,omitempty"`
 	// TimeoutMS is the job's wall-clock budget; 0 inherits the server
 	// default.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
@@ -125,6 +131,12 @@ type Job struct {
 	mu      sync.Mutex
 	state   string
 	outcome Outcome
+	// simWorkers and mcps record the run's intra-run worker count and
+	// simulated-Mcycles/s throughput. Leader jobs only: a dedup follower
+	// or cache hit executed nothing, so both stay zero — honest
+	// observability, not an inherited number.
+	simWorkers int
+	mcps       float64
 	// progress reports the run's simulated-cycle heartbeat while
 	// running. resolve nils it at terminal state — the closure pins the
 	// run's entire simulator pipeline (caches, shadow memory, classifier
@@ -146,7 +158,8 @@ func (j *Job) Snapshot() JobStatus {
 	st := JobStatus{
 		ID: j.ID, Hash: j.Hash, State: j.state,
 		Workload: j.Req.Workload, Seed: j.Req.Seed,
-		Cycle: j.outcome.Cycle,
+		Cycle:      j.outcome.Cycle,
+		SimWorkers: j.simWorkers, MCyclesPerSec: j.mcps,
 	}
 	if j.state == StateRunning && j.progress != nil {
 		st.Cycle = int64(j.progress())
@@ -174,6 +187,11 @@ type JobStatus struct {
 	// Cycle is the simulated-cycle heartbeat (live progress while
 	// running, the cycle reached at termination afterwards).
 	Cycle  int64  `json:"cycle,omitempty"`
+	// SimWorkers and MCyclesPerSec are the run's intra-run worker count
+	// and simulated-Mcycles/s throughput — zero for dedup followers and
+	// cache hits, which executed nothing.
+	SimWorkers    int     `json:"sim_workers,omitempty"`
+	MCyclesPerSec float64 `json:"mcycles_per_sec,omitempty"`
 	Report string `json:"report,omitempty"`
 	Error  string `json:"error,omitempty"`
 	// ErrorKind classifies Error: "panic", "deadline", "stalled",
@@ -226,6 +244,13 @@ type Options struct {
 	// the interval p99 (defaults 5s and 1s).
 	ScaleP99High time.Duration
 	ScaleP99Low  time.Duration
+	// SimWorkers is the default intra-run worker count applied to jobs
+	// that do not request one (0 or 1 = serial engine).
+	SimWorkers int
+	// MaxTotalWorkers caps pool-level times intra-run parallelism: a
+	// job's effective SimWorkers is clamped so that MaxWorkers ×
+	// SimWorkers never exceeds it. 0 means no cap.
+	MaxTotalWorkers int
 	// Shards is the result-store shard count, rounded up to a power of
 	// two (default 8).
 	Shards int
@@ -268,6 +293,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxWorkers < o.Workers {
 		o.MaxWorkers = o.Workers // fixed pool
+	}
+	if o.SimWorkers < 1 {
+		o.SimWorkers = 1
 	}
 	if o.AdaptInterval <= 0 {
 		o.AdaptInterval = 500 * time.Millisecond
@@ -436,7 +464,21 @@ func (s *Server) Metrics() Metrics {
 	global, shards := s.store.Snapshot()
 	s.mu.Lock()
 	retained := len(s.terminal)
+	jobs := make([]*Job, 0, len(s.order))
+	for _, id := range s.order {
+		jobs = append(jobs, s.jobs[id])
+	}
 	s.mu.Unlock()
+	perJob := make([]JobMetrics, 0, len(jobs))
+	for _, j := range jobs {
+		j.mu.Lock()
+		jm := JobMetrics{
+			ID: j.ID, State: j.state,
+			SimWorkers: j.simWorkers, MCyclesPerSec: j.mcps,
+		}
+		j.mu.Unlock()
+		perJob = append(perJob, jm)
+	}
 	return Metrics{
 		UptimeSec:    time.Since(s.store.start).Seconds(),
 		Global:       global,
@@ -446,6 +488,7 @@ func (s *Server) Metrics() Metrics {
 		QueueDepth:   cap(s.queue),
 		JobsRetained: retained,
 		JobsEvicted:  s.jobsEvicted.Load(),
+		Jobs:         perJob,
 	}
 }
 
@@ -480,6 +523,9 @@ func (s *Server) Submit(req Request) (*Job, error) {
 	if err != nil {
 		return nil, err
 	}
+	// SimWorkers is hash-neutral (wall-clock only), so setting it after
+	// Config cannot split the content-addressed dedup.
+	cfg.SimWorkers = s.simWorkersFor(req.SimWorkers)
 	if req.TestPanic && !s.opts.TestHooks {
 		return nil, errors.New("test_panic requires the server to run with test hooks enabled")
 	}
@@ -549,6 +595,26 @@ func (s *Server) Submit(req Request) (*Job, error) {
 	return job, nil
 }
 
+// simWorkersFor resolves a job's effective intra-run worker count: the
+// request's, falling back to the server default, clamped so the worker
+// pool at its ceiling times the per-run engine stays inside the
+// MaxTotalWorkers budget.
+func (s *Server) simWorkersFor(req int) int {
+	w := req
+	if w <= 0 {
+		w = s.opts.SimWorkers
+	}
+	if b := s.opts.MaxTotalWorkers; b > 0 {
+		if lim := b / s.opts.MaxWorkers; w > lim {
+			w = lim
+		}
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
 // execute runs one leader job to a terminal outcome. Panics inside the
 // run surface as the job's PanicError (runner.RunOne recovers them), so
 // the worker goroutine itself never dies.
@@ -585,6 +651,10 @@ func (s *Server) execute(job *Job) {
 		job.progress = p
 		job.mu.Unlock()
 	}, hooks...)
+	job.mu.Lock()
+	job.simWorkers = res.Stats.SimWorkers
+	job.mcps = res.Stats.MCyclesPerSec
+	job.mu.Unlock()
 
 	var out Outcome
 	switch {

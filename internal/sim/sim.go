@@ -63,6 +63,15 @@ type Config struct {
 	// Inject, when non-nil and enabled, perturbs the run with
 	// deterministic faults.
 	Inject *inject.Config
+	// SimWorkers > 1 enables the conservative parallel engine: the
+	// machine's CPUs are partitioned across that many goroutines, each
+	// speculating privately between bus-commit points, with a
+	// deterministic merge that keeps reports byte-identical to the
+	// serial engine (0 or 1). It silently falls back to serial when the
+	// configuration doesn't support speculation (reference/check/inject
+	// runs, a buffered monitor, set-associative geometries, 1 CPU, or
+	// more CPUs than the presence filter covers).
+	SimWorkers int
 	// Kernel carries kernel tuning; NCPU and Seed are propagated.
 	Kernel kernel.Config
 }
@@ -118,6 +127,9 @@ type Simulator struct {
 	Chk *check.Checker
 	// Inj is the fault injector (nil unless Cfg.Inject is enabled).
 	Inj *inject.Injector
+	// par is the conservative parallel engine (nil when running serial:
+	// SimWorkers ≤ 1 or an unsupported configuration).
+	par *parEngine
 
 	traceEscapes bool
 	end          arch.Cycles
@@ -205,6 +217,9 @@ func New(cfg Config) *Simulator {
 			mode:          arch.ModeKernel,
 			nextClockTick: arch.ClockTickCycles + arch.Cycles(i*1000),
 		}
+	}
+	if cfg.SimWorkers > 1 && s.specAllowed() {
+		s.par = newParEngine(s, cfg.SimWorkers)
 	}
 	return s
 }
@@ -340,6 +355,12 @@ func (s *Simulator) minPair(limit arch.Cycles) (lo, next *CPU) {
 
 func (s *Simulator) minClock() arch.Cycles {
 	c, _ := s.minPair(arch.Cycles(math.MaxInt64))
+	if c == nil {
+		// Unreachable with a finite limit, but a simulator with zero
+		// CPUs (or a future caller passing a real limit) must not nil-
+		// deref; the window end is the only sensible clock then.
+		return s.end
+	}
 	return c.now
 }
 
@@ -353,6 +374,10 @@ func (s *Simulator) minClock() arch.Cycles {
 func (s *Simulator) loop() {
 	if s.Cfg.Reference {
 		s.loopReference()
+		return
+	}
+	if s.par != nil {
+		s.loopParallel()
 		return
 	}
 	for {

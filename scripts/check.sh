@@ -28,6 +28,17 @@ if [ "$serial" != "$pooled" ]; then
     exit 1
 fi
 
+echo "== parallel-engine determinism smoke (charos -sim-workers, race detector)"
+# All three workloads, serial scheduler vs the conservative parallel
+# engine at 8 intra-run workers, under the race detector: byte-identical
+# output is the engine's contract at any worker count.
+serialeng=$(go run -race ./cmd/charos -exp table1 -window 1000000 -sim-workers 1 2>/dev/null)
+paralleng=$(go run -race ./cmd/charos -exp table1 -window 1000000 -sim-workers 8 2>/dev/null)
+if [ "$serialeng" != "$paralleng" ]; then
+    echo "FAIL: -sim-workers 8 output diverges from -sim-workers 1" >&2
+    exit 1
+fi
+
 echo "== streaming-vs-buffered determinism smoke (charos -buffered)"
 streaming=$(go run ./cmd/charos -exp table1 -window 2000000 2>/dev/null)
 buffered=$(go run ./cmd/charos -exp table1 -window 2000000 -buffered 2>/dev/null)
@@ -114,11 +125,17 @@ grep -q 'drain complete: all accepted jobs resolved' "$smoke/charosd-load.log" |
 echo "== recorded benchmark gate (bench.sh compare BENCH_PR4 vs BENCH_PR5)"
 scripts/bench.sh compare BENCH_PR4.json BENCH_PR5.json -threshold 50
 
-echo "== benchmark regression gate (bench.sh compare vs BENCH_PR5.json)"
-# One quick repetition against the committed PR 5 numbers. The threshold is
+echo "== recorded benchmark gate (bench.sh compare BENCH_PR5 vs BENCH_PR8)"
+# The PR 8 recording adds the 4d380 parallel-engine benchmark (present
+# only on the new side — compare skips one-sided entries) and must not
+# regress the serial pipeline.
+scripts/bench.sh compare BENCH_PR5.json BENCH_PR8.json -threshold 50
+
+echo "== benchmark regression gate (bench.sh compare vs BENCH_PR8.json)"
+# One quick repetition against the committed PR 8 numbers. The threshold is
 # deliberately loose (noisy shared runners); tighten it for local tuning.
 gate="$smoke/gate.json"
 scripts/bench.sh -count 1 -bench 'BenchmarkPipeline_FullCharacterization' -phase gate -out "$gate" 2>/dev/null
-scripts/bench.sh compare BENCH_PR5.json "$gate" -threshold 50
+scripts/bench.sh compare BENCH_PR8.json "$gate" -threshold 50
 
 echo "ok"
