@@ -23,6 +23,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/report"
 	"repro/internal/runner"
+	"repro/internal/sample"
 	"repro/internal/service"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -500,6 +501,31 @@ func BenchmarkPipeline4d380(b *testing.B) {
 			st := ch.Sim.SpecStats()
 			if st.Phases > 0 {
 				b.ReportMetric(float64(st.CommittedSteps)/float64(st.Phases), "committed/phase")
+			}
+		})
+	}
+}
+
+// BenchmarkPipelineBillion opens the billion-cycle window the sampling
+// refactor targets: the full Pmake characterization at -window 1e9 in
+// full detail and under the schedule "100K:200K:10M" (100 samples, 2%
+// measured). Functional warming still simulates every cycle, so the
+// ns/op delta is the cost of classification tallying alone — the honest
+// picture of what sampling buys without the checker. Excluded from the
+// default bench.sh suite (minutes per run); recorded in BENCH_PR10.json.
+func BenchmarkPipelineBillion(b *testing.B) {
+	sched, err := sample.Parse("100K:200K:10M")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, bc := range []struct {
+		name   string
+		sample sample.Schedule
+	}{{"full", sample.Schedule{}}, {"sampled", sched}} {
+		b.Run(bc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core.Run(core.Config{Workload: workload.Pmake,
+					Window: 1_000_000_000, Seed: 1, Sample: bc.sample})
 			}
 		})
 	}

@@ -29,6 +29,7 @@ import (
 	"repro/internal/profiling"
 	"repro/internal/report"
 	"repro/internal/runner"
+	"repro/internal/sample"
 	"repro/internal/workload"
 )
 
@@ -41,8 +42,11 @@ func reportViolations(name string, ch *core.Characterization) bool {
 func main() { os.Exit(run()) }
 
 func run() int {
-	exp := flag.String("exp", "all", "experiment to reproduce: all, table1, figure1, figure2, figure3, figure4, figure5, figure6, figure7, table3, figure8, table4, table5, table6, table7, figure9, table9, figure10, table10, table11, table12, section6")
-	window := flag.Int64("window", int64(arch.DefaultWindow), "traced window in 30ns cycles")
+	exp := flag.String("exp", "all", "experiment to reproduce: all, report, table1, figure1, figure2, figure3, figure4, figure5, figure6, figure7, table3, figure8, table4, table5, table6, table7, figure9, table9, figure10, table10, table11, table12, section6")
+	window := machineflag.CyclesFlag(flag.CommandLine, "window", int64(arch.DefaultWindow),
+		"traced window in 30ns cycles (K/M/G suffixes and scientific notation ok, e.g. 1e9)")
+	sampleSpec := flag.String("sample", "",
+		"sampled simulation schedule \"warmup:len:period\" in cycles (e.g. 100K:200K:10M); requires -exp report")
 	seed := flag.Int64("seed", 1, "random seed")
 	ncpu := flag.Int("ncpu", 0, "number of CPUs (0 = the -machine preset's count)")
 	affinity := flag.Bool("affinity", false, "enable cache-affinity scheduling")
@@ -107,6 +111,24 @@ func run() int {
 	}
 
 	name := strings.ToLower(*exp)
+	sched, err := sample.Parse(*sampleSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	if sched.Enabled() {
+		// The paper tables print exact classification counts; under
+		// sampling only the extrapolated estimate is meaningful, and only
+		// the per-run report renders it (with error bars).
+		if name != "report" {
+			fmt.Fprintln(os.Stderr, "-sample requires -exp report (the other sections print exact classification tables)")
+			return 2
+		}
+		if *buffered {
+			fmt.Fprintln(os.Stderr, "-sample requires the streaming pipeline (drop -buffered)")
+			return 2
+		}
+	}
 	cfg := core.Config{
 		Machine:       machine,
 		Window:        arch.Cycles(*window),
@@ -118,6 +140,7 @@ func run() int {
 		Buffered:      *buffered,
 		Reference:     *reference,
 		SimWorkers:    *simWorkers,
+		Sample:        sched,
 		CollectIResim: name == "all" || name == "figure6",
 	}
 
@@ -172,7 +195,7 @@ func run() int {
 		"table12":  report.Table12,
 	}
 	// Validate before the (expensive) simulations run.
-	if _, ok := sections[name]; !ok && name != "all" {
+	if _, ok := sections[name]; !ok && name != "all" && name != "report" {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		return 2
 	}
@@ -190,10 +213,17 @@ func run() int {
 		return 1
 	}
 
-	if name == "all" {
+	switch name {
+	case "all":
 		fmt.Print(report.All(set))
 		fmt.Print(report.Figure6(set))
-	} else {
+	case "report":
+		// Per-run reports: the one section that renders sampled runs
+		// (estimated totals with error bars) as well as full ones.
+		fmt.Print(report.Single(set.Pmake))
+		fmt.Print(report.Single(set.Multpgm))
+		fmt.Print(report.Single(set.Oracle))
+	default:
 		fmt.Print(sections[name](set))
 	}
 	fmt.Fprint(os.Stderr, set.Stats.Table())

@@ -30,9 +30,9 @@
 // Client mode (submit one job and wait):
 //
 //	charosd -submit [-addr host:port] [-workload Pmake] [-seed N]
-//	        [-window N] [-warmup N] [-ncpu N] [-machine 4d340|4d380]
-//	        [-check] [-sim-workers N] [-timeout D] [-retries N]
-//	        [-nowait] [-test-panic]
+//	        [-window N] [-warmup N] [-sample W:L:P] [-ncpu N]
+//	        [-machine 4d340|4d380] [-check] [-sim-workers N]
+//	        [-timeout D] [-retries N] [-nowait] [-test-panic]
 //
 // Load-generator mode (fire N concurrent clients and report):
 //
@@ -64,6 +64,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/machineflag"
 	"repro/internal/service"
 )
 
@@ -96,8 +97,12 @@ func run() int {
 	machine := flag.String("machine", "", "job machine preset: 4d340 (default), 4d380")
 	ncpu := flag.Int("ncpu", 0, "job CPU count (0 = preset's count)")
 	seed := flag.Int64("seed", 1, "job seed")
-	window := flag.Int64("window", 0, "job traced window in cycles (0 = default)")
-	warmup := flag.Int64("warmup", 0, "job warmup in cycles (0 = default)")
+	window := machineflag.CyclesFlag(flag.CommandLine, "window", 0,
+		"job traced window in 30ns cycles, K/M/G suffixes ok (0 = default)")
+	warmup := machineflag.CyclesFlag(flag.CommandLine, "warmup", 0,
+		"job warmup in 30ns cycles, K/M/G suffixes ok (0 = default)")
+	sampleSpec := flag.String("sample", "",
+		"job sampling schedule \"warmup:len:period\" in cycles (e.g. 100K:200K:10M); empty = full-detail run")
 	checkFlag := flag.Bool("check", false, "run the job under the invariant checker")
 	timeout := flag.Duration("timeout", 0, "client: job + wait deadline (0 = none); sent as the job's budget")
 	retries := flag.Int("retries", 0, "client: retry budget after shed/transport errors (0 = default 8, negative = none)")
@@ -111,13 +116,14 @@ func run() int {
 	if *load > 0 {
 		return loadMain(*addr, *load, *loadHot, *loadDistinct, service.Request{
 			Workload: *wl, Machine: *machine, NCPU: *ncpu,
-			Window: *window, Warmup: *warmup,
+			Window: *window, Warmup: *warmup, Sample: *sampleSpec,
 		})
 	}
 	if *submit {
 		return clientMain(*addr, service.Request{
 			Workload: *wl, Machine: *machine, NCPU: *ncpu, Seed: *seed,
 			Window: *window, Warmup: *warmup, Check: *checkFlag,
+			Sample:     *sampleSpec,
 			SimWorkers: *simWorkers,
 			TimeoutMS:  int64(*timeout / time.Millisecond), TestPanic: *testPanic,
 		}, *timeout, *retries, *nowait)

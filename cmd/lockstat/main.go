@@ -24,6 +24,7 @@ import (
 	"repro/internal/profiling"
 	"repro/internal/report"
 	"repro/internal/runner"
+	"repro/internal/sample"
 	"repro/internal/workload"
 )
 
@@ -31,7 +32,10 @@ func main() { os.Exit(run()) }
 
 func run() int {
 	wl := flag.String("workload", "Pmake", "workload: Pmake, Multpgm, Oracle")
-	window := flag.Int64("window", int64(arch.DefaultWindow), "traced window in cycles")
+	window := machineflag.CyclesFlag(flag.CommandLine, "window", int64(arch.DefaultWindow),
+		"traced window in 30ns cycles (K/M/G suffixes and scientific notation ok, e.g. 1e9)")
+	sampleSpec := flag.String("sample", "",
+		"sampled simulation schedule \"warmup:len:period\" in cycles; lock statistics and sync-stall accounting stay exact (only the miss classification is sampled)")
 	seed := flag.Int64("seed", 1, "random seed")
 	checkFlag := flag.Bool("check", false, "run the invariant checker (lock discipline included)")
 	reference := flag.Bool("reference", false,
@@ -79,8 +83,13 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "note: -parallel clamped %d -> %d (-sim-workers %d, GOMAXPROCS %d)\n",
 			*parallel, pool, *simWorkers, runtime.GOMAXPROCS(0))
 	}
+	sched, err := sample.Parse(*sampleSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
 	fmt.Fprintf(os.Stderr, "running all three workloads for Table 10, %s for the detail dump...\n", kind)
-	set, err := report.RunSetContext(ctx, core.Config{Machine: machine, Window: arch.Cycles(*window), Seed: *seed, Check: *checkFlag, Reference: *reference},
+	set, err := report.RunSetContext(ctx, core.Config{Machine: machine, Window: arch.Cycles(*window), Seed: *seed, Check: *checkFlag, Reference: *reference, Sample: sched},
 		runner.Options{Parallelism: pool, SimWorkers: *simWorkers})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -17,6 +17,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
 	"strconv"
@@ -29,6 +30,7 @@ import (
 	"repro/internal/profiling"
 	"repro/internal/report"
 	"repro/internal/runner"
+	"repro/internal/sample"
 	"repro/internal/trace"
 )
 
@@ -36,7 +38,10 @@ func main() { os.Exit(run()) }
 
 func run() int {
 	exp := flag.String("exp", "figure6", "figure6, figure11 or geometry")
-	window := flag.Int64("window", int64(arch.DefaultWindow), "traced window in cycles")
+	window := machineflag.CyclesFlag(flag.CommandLine, "window", int64(arch.DefaultWindow),
+		"traced window in 30ns cycles (K/M/G suffixes and scientific notation ok, e.g. 1e9)")
+	sampleSpec := flag.String("sample", "",
+		"sampled simulation schedule \"warmup:len:period\" for the geometry sweep's full-system re-runs (e.g. 100K:200K:10M)")
 	seed := flag.Int64("seed", 1, "random seed")
 	cpus := flag.String("cpus", "2,4,6,8,12,16", "CPU counts for figure11")
 	checkFlag := flag.Bool("check", false, "run the invariant checker alongside the sweep")
@@ -80,6 +85,18 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "note: -parallel clamped %d -> %d (-sim-workers %d, GOMAXPROCS %d)\n",
 			*parallel, pool, *simWorkers, runtime.GOMAXPROCS(0))
 	}
+	sched, err := sample.Parse(*sampleSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	if sched.Enabled() && *exp != "geometry" {
+		// figure6 re-simulates the materialized I-stream and figure11
+		// compares exact lock counts — both need the full trace.
+		fmt.Fprintf(os.Stderr, "-sample only applies to -exp geometry (%s needs the exact trace)\n", *exp)
+		return 2
+	}
+
 	opts := runner.Options{Parallelism: pool, SimWorkers: *simWorkers}
 	switch *exp {
 	case "figure6":
@@ -121,7 +138,7 @@ func run() int {
 		fmt.Print(report.Figure11(pts))
 		fmt.Fprint(os.Stderr, batch.Table())
 	case "geometry":
-		return geometry(ctx, machine, arch.Cycles(*window), *seed, opts)
+		return geometry(ctx, machine, arch.Cycles(*window), *seed, sched, opts)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		return 2
@@ -130,7 +147,17 @@ func run() int {
 }
 
 // osDMisses sums the classified OS data misses of one full-system run.
+// Sampled runs report the extrapolated whole-window estimate instead of
+// the (partial) measured counts.
 func osDMisses(ch *core.Characterization) int64 {
+	if ch.Sampled != nil {
+		var t float64
+		for cl := 0; cl < sample.NumClasses; cl++ {
+			c, _ := ch.Sampled.ClassTotal(1, 0, cl)
+			t += c
+		}
+		return int64(math.Round(t))
+	}
 	var n int64
 	for cl := trace.MissClass(0); cl < trace.NumClasses; cl++ {
 		n += ch.Trace.Counts[1][0][cl]
@@ -147,8 +174,14 @@ func osDMisses(ch *core.Characterization) int64 {
 // final run exercises the 4d380 preset (8 CPUs, 64 MB) end to end. The
 // invariant checker rides every full-system run; any violation fails
 // the sweep.
-func geometry(ctx context.Context, m arch.Machine, window arch.Cycles, seed int64, opts runner.Options) int {
+func geometry(ctx context.Context, m arch.Machine, window arch.Cycles, seed int64, sched sample.Schedule, opts runner.Options) int {
 	fmt.Fprintf(os.Stderr, "geometry sweep on %s, window %d, seed %d\n", m, window, seed)
+	if sched.Enabled() {
+		// The baseline must materialize the full miss stream for the
+		// replay oracle, so only the direct re-runs and the preset run
+		// are sampled; their miss counts become extrapolated estimates.
+		fmt.Fprintf(os.Stderr, "sampling %s on the direct re-runs (baseline stays full for the replay oracle)\n", sched)
+	}
 
 	base, err := core.RunContext(ctx, core.Config{
 		Machine: m, Window: window, Seed: seed,
@@ -182,7 +215,7 @@ func geometry(ctx context.Context, m arch.Machine, window arch.Cycles, seed int6
 		m2.DCacheL2Size = directCfgs[i].Size
 		m2.DCacheL2Assoc = directCfgs[i].Assoc
 		ch, err := core.RunContext(ctx, core.Config{
-			Machine: m2, Window: window, Seed: seed, Check: true,
+			Machine: m2, Window: window, Seed: seed, Check: true, Sample: sched,
 		})
 		if err != nil {
 			return directPoint{err: err}
@@ -232,7 +265,7 @@ func geometry(ctx context.Context, m arch.Machine, window arch.Cycles, seed int6
 	// The 8-CPU / 64 MB preset, end to end with the checker on.
 	big, _ := machineflag.Preset("4d380")
 	bch, err := core.RunContext(ctx, core.Config{
-		Machine: big, Window: window, Seed: seed, Check: true,
+		Machine: big, Window: window, Seed: seed, Check: true, Sample: sched,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -121,6 +121,37 @@ func (c Cycles) NS() int64 { return int64(c) * CycleNS }
 // MS converts a cycle count to milliseconds (useful for per-ms rates).
 func (c Cycles) MS() float64 { return float64(c.NS()) / 1e6 }
 
+// Compact renders a cycle count in decimal engineering notation — "800K",
+// "12M", "2.5M", "1G" — for report headers and benchmark labels where
+// "1000000000" would bury the magnitude. Values below 10K (and negatives)
+// print as plain digits; suffixes are decimal (1e3/1e6/1e9), matching the
+// K/M/G syntax the -window flags accept.
+func (c Cycles) Compact() string {
+	v := int64(c)
+	var unit int64
+	var suffix string
+	switch {
+	case v < 10_000:
+		return fmt.Sprintf("%d", v)
+	case v < 1_000_000:
+		unit, suffix = 1_000, "K"
+	case v < 1_000_000_000:
+		unit, suffix = 1_000_000, "M"
+	default:
+		unit, suffix = 1_000_000_000, "G"
+	}
+	whole := v / unit
+	frac := (v % unit) * 100 / unit // two decimal places, truncated
+	switch {
+	case frac == 0:
+		return fmt.Sprintf("%d%s", whole, suffix)
+	case frac%10 == 0:
+		return fmt.Sprintf("%d.%d%s", whole, frac/10, suffix)
+	default:
+		return fmt.Sprintf("%d.%02d%s", whole, frac, suffix)
+	}
+}
+
 // CPUID identifies a processor. CPU 1 runs the network functions in IRIX
 // (Section 2.2), a convention the kernel model preserves.
 type CPUID int

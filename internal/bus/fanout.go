@@ -35,3 +35,67 @@ func (f *Fanout) Record(t Txn) {
 }
 
 var _ Recorder = (*Fanout)(nil)
+
+// Warmable is a recorder that supports functional warming: fed every
+// transaction in both phases of a sampled run, it keeps its internal
+// state current during fast-forward while pausing its statistics. The
+// streaming classifier is the one implementation — its cache mirrors and
+// displacement causes must track the real caches through fast-forward,
+// or measured-interval misses whose history fell in a gap would all
+// misclassify as Cold.
+type Warmable interface {
+	Recorder
+	SetWarming(w bool)
+}
+
+// PhaseFanout is the phase-aware recorder splitter of a sampled run: in
+// the detailed phase it forwards every transaction to every recorder; in
+// the fast-forward phase it forwards only to Warmable recorders (flipped
+// into warming mode) and drops the rest — the monitor sees a gap, the
+// classifier keeps warming.
+type PhaseFanout struct {
+	recs     []Recorder
+	warm     []Warmable
+	detailed bool
+}
+
+// NewPhaseFanout builds a phase fanout over the given recorders (nils
+// dropped), starting in the detailed phase.
+func NewPhaseFanout(recs ...Recorder) *PhaseFanout {
+	f := &PhaseFanout{detailed: true}
+	for _, r := range recs {
+		if r == nil {
+			continue
+		}
+		f.recs = append(f.recs, r)
+		if w, ok := r.(Warmable); ok {
+			f.warm = append(f.warm, w)
+		}
+	}
+	return f
+}
+
+// SetDetailed flips the gate at a phase transition, switching every
+// Warmable recorder's warming mode to match.
+func (f *PhaseFanout) SetDetailed(d bool) {
+	f.detailed = d
+	for _, w := range f.warm {
+		w.SetWarming(!d)
+	}
+}
+
+// Record forwards the transaction to every recorder (detailed phase) or
+// to the warming recorders only (fast-forward).
+func (f *PhaseFanout) Record(t Txn) {
+	if f.detailed {
+		for _, r := range f.recs {
+			r.Record(t)
+		}
+		return
+	}
+	for _, w := range f.warm {
+		w.Record(t)
+	}
+}
+
+var _ Recorder = (*PhaseFanout)(nil)

@@ -330,3 +330,53 @@ func (c *Cache) LineAt(i int) (block arch.PAddr, ok bool) {
 // monitor's perturbation accounting). It reads the maintained counter —
 // O(1), not a line scan.
 func (c *Cache) ResidentBlocks() int { return c.residents }
+
+// fnv64 constants for the StateHash fingerprints.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// HashMix folds one 64-bit word into a running FNV-1a hash, byte by
+// byte. Exported so sibling state holders (the TLB) can join the same
+// fingerprint chain.
+func HashMix(h, v uint64) uint64 { return fnvMix(h, v) }
+
+// fnvMix folds one 64-bit word into a running FNV-1a hash, byte by byte.
+func fnvMix(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= fnvPrime
+		v >>= 8
+	}
+	return h
+}
+
+// StateHash folds the cache's architectural contents — per-line validity,
+// tag, dirty bit and (when allocated) shared bit — into a running FNV-1a
+// fingerprint. LRU stamps are excluded: they are an implementation detail
+// of the replacement policy, and two runs that took the same trajectory
+// have identical stamps anyway. The sampled-simulation tests use the
+// fingerprint to prove that a sampled run ends in exactly the cache state
+// of a full-detail run.
+func (c *Cache) StateHash(h uint64) uint64 {
+	for i := range c.valid {
+		if !c.valid[i] {
+			h = fnvMix(h, 0)
+			continue
+		}
+		w := uint64(c.tag[i])<<3 | 1<<1
+		if c.dirty[i] {
+			w |= 1 << 2
+		}
+		if c.sharedBit != nil && c.sharedBit[i] {
+			w |= 1
+		}
+		h = fnvMix(h, w)
+	}
+	return h
+}
+
+// HashSeed returns the canonical FNV-1a starting value for a StateHash
+// chain.
+func HashSeed() uint64 { return fnvOffset }

@@ -226,3 +226,9 @@ func (h *DataHierarchy) InvalidateAll() {
 	h.L1.InvalidateAll()
 	h.L2.InvalidateAll()
 }
+
+// StateHash folds both levels' contents into a running fingerprint (see
+// Cache.StateHash).
+func (h *DataHierarchy) StateHash(v uint64) uint64 {
+	return h.L2.StateHash(h.L1.StateHash(v))
+}

@@ -21,6 +21,7 @@ import (
 	"repro/internal/check"
 	"repro/internal/inject"
 	"repro/internal/kernel"
+	"repro/internal/sample"
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -87,6 +88,13 @@ type Config struct {
 	// changes wall-clock time only, never the output, so every worker
 	// count shares one content address (and one result-cache slot).
 	SimWorkers int
+	// Sample, when enabled, runs the window under the sampled-simulation
+	// regime (functional fast-forward + measured detailed intervals; see
+	// the sample package) and fills Characterization.Sampled with the
+	// extrapolated per-class estimate. Requires the streaming classifier:
+	// incompatible with NoTrace, Buffered and the resim collectors.
+	// Included in Hash() — a sampled run's output is not a full run's.
+	Sample sample.Schedule
 }
 
 func (c Config) withDefaults() Config {
@@ -130,6 +138,11 @@ func (c Config) Hash() string {
 	if c.Inject != nil {
 		fmt.Fprintf(h, "inject=%+v;", *c.Inject)
 	}
+	if c.Sample.Enabled() {
+		// Appended only when sampling is on, so every pre-sampling hash
+		// (and cached result keyed by it) is unchanged.
+		fmt.Fprintf(h, "sample=%s;", c.Sample)
+	}
 	return hex.EncodeToString(h.Sum(nil))
 }
 
@@ -171,6 +184,11 @@ func (e *CanceledError) Error() string {
 
 func (e *CanceledError) Unwrap() []error { return []error{ErrCanceled, e.Cause} }
 
+// The sample package duplicates trace.NumClasses so it can stay a leaf
+// (sim imports sample; trace's tests import sim). This conversion stops
+// compiling the moment the two constants disagree.
+var _ = sample.Counts(trace.ClassCounts{})
+
 // Characterization holds everything measured in one run.
 type Characterization struct {
 	Cfg   Config
@@ -181,6 +199,12 @@ type Characterization struct {
 	// CheckErrors are the invariant violations found when Cfg.Check was
 	// set (nil/empty on a clean run).
 	CheckErrors []*check.CheckError
+	// Sampled is the extrapolated per-class estimate of a sampled run
+	// (nil when Cfg.Sample is disabled). Trace still carries the exact
+	// kernel-level results — counters, segments, lock stats are
+	// trajectory-exact under sampling — but its classification counts
+	// cover only the detailed intervals; use Sampled for miss totals.
+	Sampled *sample.Estimate
 }
 
 // Run executes the full pipeline.
@@ -224,6 +248,21 @@ func RunMonitored(ctx context.Context, cfg Config, onStart func(progress func() 
 		return nil, canceled(0)
 	}
 	streaming := !cfg.NoTrace && !cfg.Buffered
+	if cfg.Sample.Enabled() {
+		// Sampling needs the streaming classifier (snapshots are taken
+		// at phase boundaries, mid-run) and skips most transactions, so
+		// the materialized-trace oracle and the resim streams — which
+		// need every transaction — cannot be collected.
+		if err := cfg.Sample.Validate(); err != nil {
+			panic(fmt.Sprintf("core: %v", err))
+		}
+		if !streaming {
+			panic("core: sampling requires the streaming pipeline (no -buffered, no -notrace)")
+		}
+		if cfg.CollectIResim || cfg.CollectDResim {
+			panic("core: sampling cannot collect resim streams (they need every transaction)")
+		}
+	}
 	s := sim.New(sim.Config{
 		Machine:        cfg.Machine,
 		NCPU:           cfg.NCPU,
@@ -237,6 +276,7 @@ func RunMonitored(ctx context.Context, cfg Config, onStart func(progress func() 
 		Check:          cfg.Check,
 		Inject:         cfg.Inject,
 		SimWorkers:     cfg.SimWorkers,
+		Sample:         cfg.Sample,
 		Kernel: kernel.Config{Affinity: cfg.Affinity, OptimizedText: cfg.OptimizedText,
 			BlockOpBypass: cfg.BlockOpBypass},
 	})
@@ -249,6 +289,21 @@ func RunMonitored(ctx context.Context, cfg Config, onStart func(progress func() 
 			// The classifier rides the bus: every transaction is
 			// classified inline, the cycle it occurs.
 			s.Stream = cl
+		}
+	}
+	var acc *sample.Accumulator
+	if cfg.Sample.Enabled() {
+		// Each measured interval's tally is the classifier-count delta
+		// across that interval alone; re-warm misclassifications (stale
+		// mirrors after a fast-forward gap) land outside the snapshots.
+		acc = sample.NewAccumulator(cfg.Sample, cfg.Window)
+		var snap sample.Counts
+		s.OnMeasure = func(measuring bool) {
+			if measuring {
+				snap = cl.CountsSnapshot()
+				return
+			}
+			acc.Add(sample.Diff(cl.CountsSnapshot(), snap))
 		}
 	}
 	workload.Setup(s.Kernel(), cfg.Workload)
@@ -287,6 +342,9 @@ func RunMonitored(ctx context.Context, cfg Config, onStart func(progress func() 
 			}
 		}
 		ch.Trace = cl.Finish()
+	}
+	if acc != nil {
+		ch.Sampled = acc.Estimate()
 	}
 	return ch, nil
 }

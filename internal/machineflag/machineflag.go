@@ -6,6 +6,7 @@ package machineflag
 import (
 	"flag"
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 
@@ -47,6 +48,83 @@ func ParseSize(s string) (int, error) {
 		return 0, fmt.Errorf("bad size %q (want bytes with optional K/M suffix)", s)
 	}
 	return n * mult, nil
+}
+
+// ParseCycles parses a simulated-cycle count with an optional decimal
+// K/M/G suffix ("800K", "12M", "1G" — 1e3/1e6/1e9, cycles are not bytes)
+// or scientific notation ("1e9", "2.5e8"). Plain digit strings parse as
+// before, so existing invocations keep working. The value must be a
+// non-negative integer that fits in an int64.
+func ParseCycles(s string) (int64, error) {
+	t := strings.TrimSpace(s)
+	mult := int64(1)
+	if len(t) > 0 {
+		switch t[len(t)-1] {
+		case 'K', 'k':
+			mult, t = 1_000, t[:len(t)-1]
+		case 'M', 'm':
+			mult, t = 1_000_000, t[:len(t)-1]
+		case 'G', 'g':
+			mult, t = 1_000_000_000, t[:len(t)-1]
+		}
+	}
+	if t == "" {
+		return 0, fmt.Errorf("bad cycle count %q (want digits with optional K/M/G suffix or scientific notation)", s)
+	}
+	if n, err := strconv.ParseInt(t, 10, 64); err == nil {
+		if n < 0 {
+			return 0, fmt.Errorf("bad cycle count %q (must be non-negative)", s)
+		}
+		if n > math.MaxInt64/mult {
+			return 0, fmt.Errorf("bad cycle count %q (overflows int64)", s)
+		}
+		return n * mult, nil
+	}
+	// Scientific or fractional notation: "1e9", "2.5e8", "1.5M".
+	f, err := strconv.ParseFloat(t, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad cycle count %q (want digits with optional K/M/G suffix or scientific notation)", s)
+	}
+	v := f * float64(mult)
+	if v < 0 {
+		return 0, fmt.Errorf("bad cycle count %q (must be non-negative)", s)
+	}
+	// Beyond 2^53 the float mantissa can no longer represent every
+	// integer, so "exact" stops being meaningful — and no simulated
+	// window comes near it.
+	if v > 1<<53 {
+		return 0, fmt.Errorf("bad cycle count %q (too large)", s)
+	}
+	if v != math.Trunc(v) {
+		return 0, fmt.Errorf("bad cycle count %q (not a whole number of cycles)", s)
+	}
+	return int64(v), nil
+}
+
+// cyclesValue adapts an int64 cycle count to flag.Value with ParseCycles
+// syntax.
+type cyclesValue int64
+
+func (c *cyclesValue) String() string { return strconv.FormatInt(int64(*c), 10) }
+
+func (c *cyclesValue) Set(s string) error {
+	n, err := ParseCycles(s)
+	if err != nil {
+		return err
+	}
+	*c = cyclesValue(n)
+	return nil
+}
+
+// CyclesFlag registers a cycle-count flag on fs that accepts K/M/G
+// suffixes and scientific notation ("-window 1e9"), returning the value
+// pointer like fs.Int64 would. Every -window and -warmup flag routes
+// through this one parser.
+func CyclesFlag(fs *flag.FlagSet, name string, def int64, usage string) *int64 {
+	p := new(int64)
+	*p = def
+	fs.Var((*cyclesValue)(p), name, usage)
+	return p
 }
 
 // Flags holds the registered flag values until Machine resolves them.

@@ -36,6 +36,82 @@ func TestParseSize(t *testing.T) {
 	}
 }
 
+func TestParseCycles(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int64
+		bad  bool
+	}{
+		{"12000000", 12_000_000, false},
+		{"0", 0, false},
+		{"800K", 800_000, false},
+		{"800k", 800_000, false},
+		{"12M", 12_000_000, false},
+		{"1.5M", 1_500_000, false},
+		{"1G", 1_000_000_000, false},
+		{" 2M ", 2_000_000, false},
+		{"1e9", 1_000_000_000, false},
+		{"2.5e8", 250_000_000, false},
+		{"1e3", 1_000, false},
+		// Bad inputs: suffixes are decimal cycles, not binary bytes, and
+		// fractions of a cycle do not exist.
+		{"", 0, true},
+		{"K", 0, true},
+		{"12X", 0, true},
+		{"-1", 0, true},
+		{"-2M", 0, true},
+		{"1.5", 0, true},
+		{"2.5e-8", 0, true},
+		{"1e20", 0, true},
+		{"9223372036854775807K", 0, true},
+		{"window", 0, true},
+		{"1e", 0, true},
+	}
+	for _, c := range cases {
+		got, err := ParseCycles(c.in)
+		if c.bad {
+			if err == nil {
+				t.Errorf("ParseCycles(%q) = %d, want error", c.in, got)
+			}
+			continue
+		}
+		if err != nil || got != c.want {
+			t.Errorf("ParseCycles(%q) = %d, %v; want %d", c.in, got, err, c.want)
+		}
+	}
+}
+
+func TestCyclesFlag(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	fs.SetOutput(nullWriter{})
+	w := CyclesFlag(fs, "window", 12_000_000, "traced window")
+	if err := fs.Parse([]string{"-window", "1e9"}); err != nil {
+		t.Fatal(err)
+	}
+	if *w != 1_000_000_000 {
+		t.Fatalf("-window 1e9 parsed to %d", *w)
+	}
+	fs2 := flag.NewFlagSet("test", flag.ContinueOnError)
+	fs2.SetOutput(nullWriter{})
+	d := CyclesFlag(fs2, "window", 12_000_000, "traced window")
+	if err := fs2.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if *d != 12_000_000 {
+		t.Fatalf("default window = %d, want 12000000", *d)
+	}
+	fs3 := flag.NewFlagSet("test", flag.ContinueOnError)
+	fs3.SetOutput(nullWriter{})
+	CyclesFlag(fs3, "window", 0, "traced window")
+	if err := fs3.Parse([]string{"-window", "64KB"}); err == nil {
+		t.Fatal("bad -window suffix accepted")
+	}
+}
+
+type nullWriter struct{}
+
+func (nullWriter) Write(p []byte) (int, error) { return len(p), nil }
+
 func resolve(t *testing.T, args ...string) (arch.Machine, error) {
 	t.Helper()
 	fs := flag.NewFlagSet("test", flag.ContinueOnError)

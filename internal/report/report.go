@@ -7,6 +7,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strings"
 
@@ -92,7 +93,9 @@ func Single(ch *core.Characterization) string {
 	fmt.Fprintf(&b, "config %s\n", cfg.Hash())
 	user, sys, idle := ch.TimeSplit()
 	fmt.Fprintf(&b, "time split: user %.2f%% sys %.2f%% idle %.2f%%\n", user, sys, idle)
-	if ch.Trace != nil {
+	if ch.Sampled != nil {
+		writeSampled(&b, ch)
+	} else if ch.Trace != nil {
 		all, osOnly, osInd := ch.StallPct()
 		fmt.Fprintf(&b, "os miss share: %.2f%%\n", ch.OSMissShare())
 		fmt.Fprintf(&b, "memory stalls: all %.2f%% os %.2f%% os+induced %.2f%%\n", all, osOnly, osInd)
@@ -106,6 +109,57 @@ func Single(ch *core.Characterization) string {
 		fmt.Fprintf(&b, "invariant violations: %d\n", len(ch.CheckErrors))
 	}
 	return b.String()
+}
+
+// pm renders an estimated quantity with its standard error.
+func pm(v, e float64) string { return fmt.Sprintf("%.0f±%.0f", v, e) }
+
+// ratio propagates relative standard errors through a quotient (first-
+// order, treating numerator and denominator as independent — an
+// approximation, since the OS misses are part of the total, but good
+// enough for a report's error column).
+func ratio(num, numErr, den, denErr float64) (r, rErr float64) {
+	if den == 0 {
+		return 0, 0
+	}
+	r = num / den
+	if num != 0 {
+		rErr = r * math.Sqrt((numErr/num)*(numErr/num)+(denErr/den)*(denErr/den))
+	}
+	return r, rErr
+}
+
+// writeSampled renders the sampled-run counterpart of the classification
+// lines: the same headline quantities, each carrying the standard error
+// of its extrapolation, plus the per-class estimate table. The exact
+// lines around it (time split, sync stalls, kernel ops) need no error
+// bars — they are trajectory-exact under sampling.
+func writeSampled(b *strings.Builder, ch *core.Characterization) {
+	e := ch.Sampled
+	fmt.Fprintf(b, "sampling: %s — %d samples, %s of %s cycles measured\n",
+		e.Schedule, e.Samples, e.MeasuredCycles().Compact(), e.Window.Compact())
+	tot, totErr := e.TotalAll()
+	osTot, osErr := e.TotalOS()
+	share, shareErr := ratio(osTot, osErr, tot, totErr)
+	fmt.Fprintf(b, "os miss share: %.2f%% ± %.2f%%\n", 100*share, 100*shareErr)
+	if nonIdle := float64(ch.NonIdle()); nonIdle > 0 {
+		stall := float64(ch.Cfg.Machine.MissStallCycles)
+		pct := func(v float64) float64 { return 100 * v * stall / nonIdle }
+		indTot, indErr := e.ClassTotal(0, -1, int(trace.DispOS))
+		fmt.Fprintf(b, "memory stalls: all %.2f%% ± %.2f%% os %.2f%% ± %.2f%% os+induced %.2f%% ± %.2f%%\n",
+			pct(tot), pct(totErr), pct(osTot), pct(osErr),
+			pct(osTot+indTot), pct(math.Sqrt(osErr*osErr+indErr*indErr)))
+	}
+	fmt.Fprintf(b, "bus misses: %.0f ± %.0f (os %.0f ± %.0f)\n", tot, totErr, osTot, osErr)
+	fmt.Fprintf(b, "miss classes (estimated whole-window counts ± stderr):\n")
+	for cl := trace.MissClass(0); cl < trace.NumClasses; cl++ {
+		ai, aiE := e.ClassTotal(0, 1, int(cl))
+		ad, adE := e.ClassTotal(0, 0, int(cl))
+		oi, oiE := e.ClassTotal(1, 1, int(cl))
+		od, odE := e.ClassTotal(1, 0, int(cl))
+		fmt.Fprintf(b, "  %-8s app-i %-14s app-d %-14s os-i %-14s os-d %-14s\n",
+			cl, pm(ai, aiE), pm(ad, adE), pm(oi, oiE), pm(od, odE))
+	}
 }
 
 // ReportViolations writes a run's invariant violations to w and reports

@@ -1,0 +1,197 @@
+package sample
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/arch"
+	)
+
+func TestParse(t *testing.T) {
+	good := []struct {
+		in   string
+		want Schedule
+	}{
+		{"", Schedule{}},
+		{"  ", Schedule{}},
+		{"100K:200K:10M", Schedule{100_000, 200_000, 10_000_000}},
+		{"0:1M:2M", Schedule{0, 1_000_000, 2_000_000}},
+		{"1e5:2e5:1e7", Schedule{100_000, 200_000, 10_000_000}},
+		{"50000:100000:1000000", Schedule{50_000, 100_000, 1_000_000}},
+	}
+	for _, c := range good {
+		got, err := Parse(c.in)
+		if err != nil || got != c.want {
+			t.Errorf("Parse(%q) = %+v, %v; want %+v", c.in, got, err, c.want)
+		}
+	}
+	bad := []string{
+		"100K",           // not three fields
+		"1:2",            // not three fields
+		"1:2:3:4",        // not three fields
+		"x:2M:10M",       // unparsable field
+		"100K:0:10M",     // zero measured length
+		"100K:200K:0",    // zero period
+		"1M:2M:2.5M",     // period < warmup+length
+		"-1K:200K:10M",   // negative warmup
+		"100K:200K:-10M", // negative period
+	}
+	for _, in := range bad {
+		if got, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q) = %+v, want error", in, got)
+		}
+	}
+}
+
+func TestScheduleString(t *testing.T) {
+	s := Schedule{100_000, 200_000, 10_000_000}
+	if got := s.String(); got != "100K:200K:10M" {
+		t.Fatalf("String() = %q", got)
+	}
+	// String must round-trip through Parse.
+	back, err := Parse(s.String())
+	if err != nil || back != s {
+		t.Fatalf("round trip: %+v, %v", back, err)
+	}
+	if got := (Schedule{}).String(); got != "" {
+		t.Fatalf("zero Schedule String() = %q, want empty", got)
+	}
+}
+
+// Segments must tile [0, window) exactly: contiguous, in order, phases
+// alternating correctly, measured intervals of exactly Length, and no
+// partial sample.
+func TestSegmentsTile(t *testing.T) {
+	cases := []struct {
+		s       Schedule
+		window  arch.Cycles
+		samples int
+	}{
+		{Schedule{100, 200, 1000}, 10_000, 10},
+		{Schedule{0, 200, 1000}, 10_000, 10},
+		{Schedule{100, 200, 1000}, 10_500, 11},   // ragged tail still fits a sample
+		{Schedule{100, 200, 1000}, 9_350, 10},    // partial last period still fits its sample
+		{Schedule{100, 200, 1000}, 9_250, 9},     // sample doesn't fit → dropped
+		{Schedule{0, 1000, 1000}, 5_000, 5},      // wall-to-wall detailed
+		{Schedule{100, 200, 1000}, 50, 0},        // window smaller than one sample
+		{Schedule{1000, 2000, 1_000_000}, 12_000_000, 12},
+	}
+	for _, c := range cases {
+		segs := c.s.Segments(c.window)
+		var pos arch.Cycles
+		measured := 0
+		for i, seg := range segs {
+			if seg.Start != pos {
+				t.Fatalf("%v@%d: segment %d starts at %d, want %d", c.s, c.window, i, seg.Start, pos)
+			}
+			if seg.End <= seg.Start {
+				t.Fatalf("%v@%d: empty segment %d", c.s, c.window, i)
+			}
+			if seg.Measured {
+				if !seg.Detailed {
+					t.Fatalf("%v@%d: measured but not detailed", c.s, c.window)
+				}
+				if seg.End-seg.Start != c.s.Length {
+					t.Fatalf("%v@%d: measured interval %d cycles, want %d",
+						c.s, c.window, seg.End-seg.Start, c.s.Length)
+				}
+				measured++
+			}
+			pos = seg.End
+		}
+		if pos != c.window {
+			t.Fatalf("%v@%d: tiling ends at %d", c.s, c.window, pos)
+		}
+		if measured != c.samples {
+			t.Fatalf("%v@%d: %d samples, want %d", c.s, c.window, measured, c.samples)
+		}
+		if got := c.s.Samples(c.window); got != c.samples {
+			t.Fatalf("%v@%d: Samples() = %d, want %d", c.s, c.window, got, c.samples)
+		}
+	}
+	if (Schedule{}).Segments(1000) != nil {
+		t.Fatal("disabled schedule produced segments")
+	}
+}
+
+// Hand-computed estimate: two samples of 10 and 14 misses in 100-cycle
+// intervals over a 1000-cycle window. mean=12, scale=10 → Total 120;
+// sd=√8, stderr = 10·√8/√2 = 20.
+// Class indices mirroring trace.Cold/Sharing/Inval, which this leaf
+// package cannot import (see NumClasses).
+const (
+	clCold    = 0
+	clSharing = 3
+	clInval   = 4
+)
+
+func TestEstimateMath(t *testing.T) {
+	sched := Schedule{Warmup: 0, Length: 100, Period: 500}
+	acc := NewAccumulator(sched, 1000)
+	var s1, s2 Counts
+	s1[1][0][clSharing] = 10
+	s2[1][0][clSharing] = 14
+	acc.Add(s1)
+	acc.Add(s2)
+	e := acc.Estimate()
+	if e.Samples != 2 {
+		t.Fatalf("Samples = %d", e.Samples)
+	}
+	if got := e.Total[1][0][clSharing]; math.Abs(got-120) > 1e-9 {
+		t.Fatalf("Total = %v, want 120", got)
+	}
+	if got := e.StdErr[1][0][clSharing]; math.Abs(got-20) > 1e-9 {
+		t.Fatalf("StdErr = %v, want 20", got)
+	}
+	if e.Measured[1][0][clSharing] != 24 {
+		t.Fatalf("Measured = %d, want 24", e.Measured[1][0][clSharing])
+	}
+	if e.MeasuredCycles() != 200 {
+		t.Fatalf("MeasuredCycles = %d, want 200", e.MeasuredCycles())
+	}
+	// Untouched cells stay zero.
+	if e.Total[0][1][clCold] != 0 || e.StdErr[0][1][clCold] != 0 {
+		t.Fatal("untouched cells nonzero")
+	}
+	// Aggregates.
+	tot, serr := e.TotalAll()
+	if math.Abs(tot-120) > 1e-9 || math.Abs(serr-20) > 1e-9 {
+		t.Fatalf("TotalAll = %v ± %v", tot, serr)
+	}
+	osTot, osErr := e.TotalOS()
+	if math.Abs(osTot-120) > 1e-9 || math.Abs(osErr-20) > 1e-9 {
+		t.Fatalf("TotalOS = %v ± %v", osTot, osErr)
+	}
+	ct, cs := e.ClassTotal(1, 0, clSharing)
+	if math.Abs(ct-120) > 1e-9 || math.Abs(cs-20) > 1e-9 {
+		t.Fatalf("ClassTotal = %v ± %v", ct, cs)
+	}
+	if ut, _ := e.ClassTotal(0, -1, clSharing); ut != 0 {
+		t.Fatalf("user-plane ClassTotal = %v, want 0", ut)
+	}
+}
+
+func TestEstimateSingleSampleHasNoError(t *testing.T) {
+	acc := NewAccumulator(Schedule{0, 100, 1000}, 1000)
+	var s Counts
+	s[0][0][clCold] = 7
+	acc.Add(s)
+	e := acc.Estimate()
+	if got := e.Total[0][0][clCold]; math.Abs(got-70) > 1e-9 {
+		t.Fatalf("Total = %v, want 70", got)
+	}
+	if e.StdErr[0][0][clCold] != 0 {
+		t.Fatalf("single-sample StdErr = %v, want 0", e.StdErr[0][0][clCold])
+	}
+}
+
+func TestDiff(t *testing.T) {
+	var a, b Counts
+	a[1][1][clCold] = 10
+	b[1][1][clCold] = 4
+	a[0][0][clInval] = 3
+	d := Diff(a, b)
+	if d[1][1][clCold] != 6 || d[0][0][clInval] != 3 {
+		t.Fatalf("Diff = %+v", d)
+	}
+}

@@ -37,6 +37,7 @@ import (
 	"repro/internal/machineflag"
 	"repro/internal/report"
 	"repro/internal/runner"
+	"repro/internal/sample"
 	"repro/internal/workload"
 )
 
@@ -71,6 +72,11 @@ type Request struct {
 	Warmup int64 `json:"warmup,omitempty"`
 	// Check runs the invariant checker alongside the job.
 	Check bool `json:"check,omitempty"`
+	// Sample is a sampled-simulation schedule "warmup:len:period" in
+	// cycles (K/M/G suffixes ok, e.g. "100K:200K:10M"); empty runs the
+	// full window in detail. The schedule is part of the job's cache
+	// identity: sampled and full runs of the same config hash differently.
+	Sample string `json:"sample,omitempty"`
 	// SimWorkers is the job's intra-run worker count for the
 	// conservative parallel engine (0 inherits the server default, 1
 	// forces serial). It never affects the job's output or its cache
@@ -98,10 +104,14 @@ func (r Request) Config() (core.Config, error) {
 	if err != nil {
 		return core.Config{}, err
 	}
+	sched, err := sample.Parse(r.Sample)
+	if err != nil {
+		return core.Config{}, err
+	}
 	return core.Config{
 		Workload: kind, Machine: m, NCPU: r.NCPU, Seed: r.Seed,
 		Window: arch.Cycles(r.Window), Warmup: arch.Cycles(r.Warmup),
-		Check: r.Check,
+		Check: r.Check, Sample: sched,
 	}, nil
 }
 

@@ -10,6 +10,7 @@ import (
 	"repro/internal/inject"
 	"repro/internal/kernel"
 	"repro/internal/monitor"
+	"repro/internal/sample"
 	"repro/internal/tlb"
 )
 
@@ -72,6 +73,12 @@ type Config struct {
 	// runs, a buffered monitor, set-associative geometries, 1 CPU, or
 	// more CPUs than the presence filter covers).
 	SimWorkers int
+	// Sample, when enabled, runs the traced window under the sampled-
+	// simulation regime: detailed re-warm + measured intervals separated
+	// by functionally-warmed fast-forward stretches (see the sample
+	// package and phase.go). The zero Schedule keeps today's full-detail
+	// behavior, byte for byte.
+	Sample sample.Schedule
 	// Kernel carries kernel tuning; NCPU and Seed are propagated.
 	Kernel kernel.Config
 }
@@ -130,6 +137,18 @@ type Simulator struct {
 	// par is the conservative parallel engine (nil when running serial:
 	// SimWorkers ≤ 1 or an unsupported configuration).
 	par *parEngine
+
+	// Phase is the current simulation phase of a sampled run (always
+	// Detailed otherwise); see phase.go.
+	Phase Phase
+	// OnMeasure, when set on a sampled run, is called with true just
+	// before each measured interval's loop and false just after it —
+	// core snapshots and differences the classifier's counts there.
+	OnMeasure func(measuring bool)
+	// phaseRec is the phase-aware recorder gate of a sampled run (nil
+	// otherwise); enterDetailed/enterFastForward flip it alongside the
+	// bus's own warm gate.
+	phaseRec *bus.PhaseFanout
 
 	traceEscapes bool
 	end          arch.Cycles
@@ -286,6 +305,10 @@ func (s *Simulator) RunCancelable() (completed bool) {
 
 // Run executes warmup plus the traced window.
 func (s *Simulator) Run() {
+	if s.Cfg.Sample.Enabled() {
+		s.runSampled()
+		return
+	}
 	// Wire memory down to the circulating pool (see kernel.Config).
 	s.K.WireAllBut(s.K.Cfg.PoolFrames)
 	// Initial schedule: each CPU picks its first process (or idles).

@@ -122,3 +122,20 @@ func (t *TLB) Valid() int {
 // Entries exposes the slots for the initial-state dump the instrumentation
 // writes when tracing starts (Section 2.2).
 func (t *TLB) Entries() []Entry { return t.entries[:] }
+
+// StateHash folds the TLB's architectural state — every slot plus the
+// round-robin replacement cursor — into a running FNV-1a fingerprint with
+// the mixing function mix (the cache package supplies the canonical one).
+// The sampled-simulation tests use it to prove trajectory equivalence.
+func (t *TLB) StateHash(h uint64, mix func(h, v uint64) uint64) uint64 {
+	for i := range t.entries {
+		e := &t.entries[i]
+		if !e.Valid {
+			h = mix(h, 0)
+			continue
+		}
+		h = mix(h, 1|uint64(uint32(e.PID))<<1|uint64(e.VPage)<<33)
+		h = mix(h, uint64(e.Frame))
+	}
+	return mix(h, uint64(t.next))
+}

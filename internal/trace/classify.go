@@ -83,13 +83,18 @@ const (
 	blocksPerFrame = arch.PageSize / arch.BlockSize
 )
 
+// ClassCounts is the [os][instr][class] miss-count cube — the shape of
+// Result.Counts, named so the sampling layer can snapshot and difference
+// it without spelling the dimensions out.
+type ClassCounts = [2][2][NumClasses]int64
+
 // Result is everything the classifier extracts from one trace.
 type Result struct {
 	NCPU int
 
 	// Counts[os][instr][class]: os=1 for OS misses, instr=1 for
 	// instruction misses.
-	Counts [2][2][NumClasses]int64
+	Counts ClassCounts
 
 	// Dispossame subsets of the OS Dispos misses.
 	DispossameI int64
@@ -299,8 +304,21 @@ type Classifier struct {
 	// CollectDResim records the data-miss stream into Result.DResim.
 	CollectDResim bool
 
+	// warming is the functional-warming mode of a sampled run's
+	// fast-forward phase: every piece of classification state — the
+	// cache mirrors, block causes and epochs, per-CPU mode/pid/routine
+	// context, the frame-kind table — keeps updating exactly as in a
+	// full-detail run, but no statistic accumulates. Measured intervals
+	// then classify against mirrors whose displacement history is
+	// complete, which is what makes the sample unbiased (the SMARTS
+	// functional-warming argument).
+	warming bool
+
 	res *Result
 }
+
+// SetWarming flips the classifier's functional-warming mode (bus.Warmable).
+func (c *Classifier) SetWarming(w bool) { c.warming = w }
 
 // NewClassifier builds a classifier for the machine the layout was
 // computed for, with ncpu processors.
@@ -412,6 +430,12 @@ func (c *Classifier) Feed(t bus.Txn) {
 func (c *Classifier) Record(t bus.Txn) { c.Feed(t) }
 
 var _ bus.Recorder = (*Classifier)(nil)
+
+// CountsSnapshot returns a copy of the running class-count cube. The
+// sampling accumulator snapshots it at measured-interval boundaries and
+// differences the copies, so misses counted in unmeasured detailed
+// stretches (the per-sample re-warm intervals) never enter a sample.
+func (c *Classifier) CountsSnapshot() ClassCounts { return c.res.Counts }
 
 // MirrorResident returns the block resident in the given mirror-cache set
 // (instr selects the I- or D-mirror), for the cross-validation tests that
@@ -528,8 +552,10 @@ func (c *Classifier) event(rec monitor.Record) {
 	case monitor.EvRoutineExit:
 		cs.routine = -1
 	case monitor.EvUTLB:
-		c.res.UTLBFaults++
-		cs.seg.utlb()
+		if !c.warming {
+			c.res.UTLBFaults++
+			cs.seg.utlb()
+		}
 	case monitor.EvICacheInval:
 		c.icacheInval(rec.Args[0])
 	case monitor.EvPageAlloc:
@@ -543,7 +569,9 @@ func (c *Classifier) event(rec monitor.Record) {
 		// Sizes are reported by the kernel log (Table 7); the escape
 		// exists so a pure-trace consumer could recover them too.
 	case monitor.EvSuspend:
-		c.res.Suspends++
+		if !c.warming {
+			c.res.Suspends++
+		}
 	case monitor.EvResume:
 	case monitor.EvTLBChange:
 		// Virtual-to-physical tracking is not needed: user code frames
@@ -667,7 +695,7 @@ func (c *Classifier) miss(t bus.Txn) {
 			*ocause = causeDispOS
 			// Section 4.1: 10-25% of OS misses replace blocks
 			// already missed on within the same invocation.
-			if fillInv[set] == cs.invID {
+			if fillInv[set] == cs.invID && !c.warming {
 				c.res.ReusedWithinInvocation++
 			}
 		} else {
@@ -726,6 +754,9 @@ func (c *Classifier) osMode(cs *cpuState, a arch.PAddr) bool {
 // displacer ran in the same OS invocation (the Dispossame subset); it is
 // false for non-fill events (uncached accesses, upgrades).
 func (c *Classifier) tally(cs *cpuState, t bus.Txn, instr bool, class MissClass, sameInv bool) {
+	if c.warming {
+		return // state is current; only the statistics pause
+	}
 	os := c.osMode(cs, t.Addr)
 	if cs.mode == arch.ModeIdle {
 		c.res.IdleMisses++

@@ -54,6 +54,35 @@ if [ "$streaming" != "$reference" ]; then
     exit 1
 fi
 
+echo "== sampled-simulation smoke (charos -exp report -sample, checker on)"
+# A sampled checked run must complete, render ±stderr error bars on the
+# extrapolated miss counts, and pass the invariant checker (functional
+# warming keeps the shadow state coherent through fast-forward).
+sampled=$(go run ./cmd/charos -exp report -window 2000000 -sample 20K:40K:200K -check 2>/dev/null)
+echo "$sampled" | grep -q 'sampling: 20K:40K:200K' || {
+    echo "FAIL: sampled report did not announce its schedule" >&2; exit 1; }
+echo "$sampled" | grep -q '±' || {
+    echo "FAIL: sampled report carried no error bars" >&2; exit 1; }
+
+echo "== sampling-off determinism gate (report path vs buffered oracle)"
+# With no -sample, the phase-structured pipeline must render byte-for-byte
+# what the buffered oracle renders — the sampling refactor cannot perturb
+# unsampled runs. The buffered flag is part of the config identity, so the
+# "config <hash>" lines differ by design and are filtered out.
+plainrep=$(go run ./cmd/charos -exp report -window 2000000 2>/dev/null)
+bufrep=$(go run ./cmd/charos -exp report -window 2000000 -buffered 2>/dev/null)
+if [ "$(echo "$plainrep" | grep -v '^config ')" != "$(echo "$bufrep" | grep -v '^config ')" ]; then
+    echo "FAIL: unsampled report diverges from the buffered oracle" >&2
+    exit 1
+fi
+workrep=$(go run ./cmd/charos -exp report -window 2000000 -sim-workers 8 2>/dev/null)
+if [ "$plainrep" != "$workrep" ]; then
+    echo "FAIL: unsampled report diverges under -sim-workers 8" >&2
+    exit 1
+fi
+echo "$plainrep" | grep -q 'sampling:' && {
+    echo "FAIL: unsampled report mentions sampling" >&2; exit 1; }
+
 echo "== default-machine oracle (zero Machine vs explicit arch.Default reports)"
 go test -run 'TestDefaultMachineMatchesSeed' ./internal/report
 
